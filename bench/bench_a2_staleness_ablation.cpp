@@ -1,0 +1,82 @@
+// Ablation A2 (DESIGN.md §6 ◊): what does stamp-based staleness filtering
+// buy over applying reports in raw arrival order?
+//
+// The delivery-order baseline applies every update as it arrives; the
+// strobe detectors discard updates that their stamps show to be superseded.
+// The difference only matters when the network reorders a sensor's own
+// reports — so we sweep the delay *variance* at fixed mean by comparing the
+// fixed-delay model (no reordering possible) against uniform and
+// exponential models at the same mean.
+//
+// Expected: identical scores under fixed delay; the baseline degrades as
+// delay variance (hence per-sender reordering) grows, while the stamped
+// detectors degrade only with cross-sender races.
+
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace psn;
+
+  constexpr std::size_t kReps = 12;
+  std::printf(
+      "A2: staleness-filter ablation — delay variance at ~constant mean "
+      "(2 doors, 10 events/s, %zu seeds x 60 s)\n\n",
+      kReps);
+
+  Table table({"delay model", "mean (ms)", "baseline FP+FN", "scalar FP+FN",
+               "vector FP+FN", "vector uncovered FP+FN",
+               "baseline belief acc", "scalar belief acc"});
+
+  struct Case {
+    const char* label;
+    core::DelayKind kind;
+    std::int64_t delta_ms;  // parameter, chosen for ~equal mean delay
+  };
+  // fixed(100) mean 100; uniform[18,180] mean ~99; exponential mean 100.
+  const Case cases[] = {
+      {"fixed (no reordering)", core::DelayKind::kFixed, 100},
+      {"uniform bounded", core::DelayKind::kUniformBounded, 180},
+      {"exponential (heavy tail)", core::DelayKind::kExponential, 100},
+  };
+
+  for (const auto& c : cases) {
+    analysis::OccupancyConfig cfg;
+    cfg.doors = 2;
+    cfg.capacity = 50;
+    cfg.movement_rate = 10.0;
+    cfg.delay_kind = c.kind;
+    cfg.delta = Duration::millis(c.delta_ms);
+    cfg.horizon = Duration::seconds(60);
+    cfg.seed = 500;
+    cfg.score_tolerance = Duration::millis(500);
+
+    const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
+    const auto& base = agg.at("delivery-order");
+    const auto& scalar = agg.at("strobe-scalar");
+    const auto& vector = agg.at("strobe-vector");
+
+    table.row()
+        .cell(c.label)
+        .cell(c.kind == core::DelayKind::kUniformBounded
+                  ? (18 + c.delta_ms) / 2
+                  : c.delta_ms)
+        .cell(base.score.false_positives + base.score.false_negatives)
+        .cell(scalar.score.false_positives + scalar.score.false_negatives)
+        .cell(vector.score.false_positives + vector.score.false_negatives)
+        // Races the vector detector *flagged* are not silent errors; the
+        // uncovered remainder is its real error count.
+        .cell(vector.score.false_positives + vector.score.false_negatives -
+              vector.score.fn_covered_by_borderline)
+        .cell(base.belief_accuracy.mean(), 4)
+        .cell(scalar.belief_accuracy.mean(), 4);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+  std::printf(
+      "Reading: under fixed delay the rows agree (nothing to filter); with\n"
+      "variance, the unstamped baseline accumulates extra errors from its\n"
+      "own senders' reports arriving out of order.\n");
+  return 0;
+}

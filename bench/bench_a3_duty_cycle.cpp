@@ -1,0 +1,79 @@
+// Ablation A3 — paper §5 (last paragraph): duty-cycle synchronization.
+// "Synchronization of duty cycles among wireless sensor nodes for efficient
+// execution of MAC and routing layer functions can be achieved using
+// distributed timers. It is particularly feasible in applications such as
+// habitat monitoring where the monitoring activities proceed slowly."
+//
+// Sweep the receiver duty fraction, with phases either synchronized (what
+// the distributed-timer protocol achieves) or random (unsynchronized
+// baseline). Duty cycling stretches the *effective* Δ: strobes wait out the
+// receivers' sleep, so detection latency grows toward the sleep time, and
+// with random phases the strobes reach different receivers in different
+// cycles, creating extra races.
+//
+// Expected shape: latency ≈ message delay at duty 1.0, growing as duty
+// falls; aligned phases no worse than random at every duty level.
+
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace psn;
+
+  constexpr std::size_t kReps = 8;
+  std::printf(
+      "A3: duty-cycled receivers (2 doors, 2 events/s — habitat-slow, "
+      "Delta = 50 ms, period 1 s, %zu seeds x 120 s)\n\n",
+      kReps);
+
+  Table table({"duty fraction", "phases", "recall", "recall w/ bin",
+               "p50 latency (ms)", "p95 latency (ms)", "belief acc"});
+
+  for (const double duty : {1.0, 0.5, 0.2, 0.1}) {
+    for (const bool aligned : {true, false}) {
+      if (duty == 1.0 && !aligned) continue;  // always-on has no phases
+      analysis::OccupancyConfig cfg;
+      cfg.doors = 2;
+      cfg.capacity = 20;
+      cfg.movement_rate = 2.0;
+      cfg.delta = Duration::millis(50);
+      cfg.horizon = Duration::seconds(120);
+      cfg.seed = 600;
+      cfg.score_tolerance = Duration::millis(2200);
+      if (duty < 1.0) {
+        net::DutyCycle dc;
+        dc.period = Duration::millis(1000);
+        dc.window = Duration::millis(static_cast<std::int64_t>(1000 * duty));
+        cfg.duty_cycle = dc;
+        cfg.duty_phases_aligned = aligned;
+      }
+
+      const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
+      const auto& v = agg.at("strobe-vector");
+      table.row()
+          .cell(duty, 3)
+          .cell(duty == 1.0 ? "always-on" : (aligned ? "synced" : "random"))
+          .cell(v.score.recall(), 3)
+          .cell(v.score.recall_with_borderline(), 3)
+          .cell(v.score.latency_s.empty() ? 0.0
+                                          : v.score.latency_s.median() * 1e3,
+                4)
+          .cell(v.score.latency_s.empty()
+                    ? 0.0
+                    : v.score.latency_s.percentile(95) * 1e3,
+                4)
+          .cell(v.belief_accuracy.mean(), 4);
+    }
+  }
+  std::printf("%s\n", table.ascii().c_str());
+  std::printf(
+      "Reading: the always-on root keeps median latency near Delta, but the\n"
+      "tail stretches toward the sleep time and confident recall erodes as\n"
+      "duty falls (sleeping sensors merge strobes late -> more races);\n"
+      "synchronized phases beat random phases at every duty level — the\n"
+      "value of the paper's duty-cycle synchronization via distributed\n"
+      "timers. The borderline bin absorbs nearly all of the loss.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation A4 — the paper's §5 "consensus based algorithm using vector
+// strobes": race classification by multi-observer agreement instead of (or
+// on top of) single-observer stamp concurrency.
+//
+// Each sensor keeps its own observation log; a transition is confident only
+// if every observer derived it identically. Compare against the
+// single-observer stamp heuristic on identical runs.
+//
+// Expected: consensus precision ≥ single-observer precision (disagreement
+// catches stale-ordering races the stamp rule misses), at the cost of a
+// larger borderline bin and O(n) observer state.
+
+#include <cstdio>
+
+#include "analysis/scoring.hpp"
+#include "common/table.hpp"
+#include "core/consensus.hpp"
+#include "core/oracle.hpp"
+#include "core/predicate_parser.hpp"
+#include "world/scenarios.hpp"
+
+int main() {
+  using namespace psn;
+
+  constexpr std::size_t kReps = 10;
+  std::printf(
+      "A4: consensus vs single-observer borderline classification "
+      "(3-door hall, capacity 50, 12 movements/s, %zu seeds x 60 s)\n\n",
+      kReps);
+
+  Table table({"Delta (ms)", "occurrences", "single FP", "consensus FP",
+               "single precision", "consensus precision", "single bin",
+               "consensus bin", "recall w/ bin (cons.)"});
+
+  for (const std::int64_t delta_ms : {25, 75, 150, 300}) {
+    analysis::DetectionScore single_total, consensus_total;
+    for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
+      core::SystemConfig sys;
+      sys.num_sensors = 3;
+      sys.sim.seed = seed;
+      sys.sim.horizon = SimTime::zero() + Duration::seconds(60);
+      sys.delta = Duration::millis(delta_ms);
+      core::PervasiveSystem system(sys);
+      core::enable_all_observers(system);
+
+      world::ExhibitionHallConfig hall_cfg;
+      hall_cfg.doors = 3;
+      hall_cfg.capacity = 50;
+      hall_cfg.movement_rate = 12.0;
+      hall_cfg.target_occupancy = 50;
+      hall_cfg.initial_occupancy = 40;
+      world::ExhibitionHall hall(system.world(), hall_cfg,
+                                 system.sim().rng_for("hall"));
+      for (int k = 0; k < 3; ++k) {
+        const auto pid = static_cast<ProcessId>(k + 1);
+        system.assign(hall.door_object(k), "entered", pid);
+        system.assign(hall.door_object(k), "exited", pid);
+      }
+      hall.start();
+      system.run();
+
+      const auto phi = core::parse_predicate(
+          "overcrowded", "sum(entered) - sum(exited) > 50");
+      const core::GroundTruthOracle oracle(phi, system.sensing());
+      const auto truth = oracle.evaluate(system.timeline(),
+                                         SimTime::zero() + Duration::seconds(60));
+      analysis::ScoreConfig score_cfg;
+      score_cfg.tolerance = Duration::millis(2 * delta_ms + 1);
+
+      const auto single_dets =
+          core::StrobeVectorDetector().run(system.log(), phi);
+      const auto logs = core::ConsensusStrobeDetector::observer_logs(system);
+      const auto consensus_dets =
+          core::ConsensusStrobeDetector().run(logs, phi);
+
+      single_total +=
+          analysis::score_detections(truth, single_dets, score_cfg);
+      consensus_total +=
+          analysis::score_detections(truth, consensus_dets, score_cfg);
+    }
+
+    table.row()
+        .cell(delta_ms)
+        .cell(single_total.oracle_occurrences)
+        .cell(single_total.false_positives)
+        .cell(consensus_total.false_positives)
+        .cell(single_total.precision(), 3)
+        .cell(consensus_total.precision(), 3)
+        .cell(single_total.borderline_detections)
+        .cell(consensus_total.borderline_detections)
+        .cell(consensus_total.recall_with_borderline(), 3);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+  std::printf(
+      "Reading: multi-observer agreement removes residual confident FPs the\n"
+      "stamp heuristic lets through (the E6 caveat in EXPERIMENTS.md), at\n"
+      "the price of a larger borderline bin — the full §5 claim, 'false\n"
+      "positives AND most false negatives in the borderline bin'.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E1 — paper §3.3 / §4.2: strobe vector clocks detecting the Instantaneously
+// modality suffer false negatives when races occur within Δ, and accuracy
+// degrades as Δ grows relative to the inter-event time 1/λ. FPs stay near
+// zero because races are diverted to the borderline bin.
+//
+// Sweep: Δ·λ from 0.01 to 3 at fixed λ = 10 events/s.
+// Expected shape: error ≈ 0 for Δ·λ ≪ 1, rising with Δ·λ; borderline bin
+// grows alongside.
+
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace psn;
+
+  constexpr double kRate = 10.0;  // λ events/s across the system
+  constexpr std::size_t kReps = 12;
+
+  std::printf(
+      "E1: strobe-vector accuracy vs Delta*lambda "
+      "(lambda=%.0f/s, 2 doors, capacity 50, %zu seeds x 60 s)\n\n",
+      kRate, kReps);
+
+  Table table({"Delta (ms)", "Delta*lambda", "occurrences", "FN rate",
+               "FP rate", "recall", "recall w/ borderline", "borderline/occ",
+               "belief acc"});
+
+  for (const std::int64_t delta_ms : {1, 5, 10, 25, 50, 100, 200, 300}) {
+    analysis::OccupancyConfig cfg;
+    cfg.doors = 2;
+    cfg.capacity = 50;
+    cfg.movement_rate = kRate;
+    cfg.delta = Duration::millis(delta_ms);
+    cfg.horizon = Duration::seconds(60);
+    cfg.seed = 1;
+
+    const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
+    const auto& v = agg.at("strobe-vector");
+    const double occ = static_cast<double>(v.score.oracle_occurrences);
+    const double fn_rate =
+        occ > 0 ? static_cast<double>(v.score.false_negatives) / occ : 0.0;
+    const double fp_rate =
+        v.score.confident_detections > 0
+            ? static_cast<double>(v.score.false_positives) /
+                  static_cast<double>(v.score.confident_detections)
+            : 0.0;
+
+    table.row()
+        .cell(delta_ms)
+        .cell(static_cast<double>(delta_ms) / 1000.0 * kRate, 3)
+        .cell(v.score.oracle_occurrences)
+        .cell(fn_rate, 3)
+        .cell(fp_rate, 3)
+        .cell(v.score.recall(), 3)
+        .cell(v.score.recall_with_borderline(), 3)
+        .cell(static_cast<double>(v.score.borderline_detections) /
+                  std::max(1.0, occ),
+              3)
+        .cell(v.belief_accuracy.mean(), 4);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+  std::printf(
+      "Claim check: FN rate ~0 at Delta*lambda << 1, grows with Delta*lambda;\n"
+      "recall including the borderline bin stays well above plain recall.\n");
+  return 0;
+}

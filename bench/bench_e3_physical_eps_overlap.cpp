@@ -1,0 +1,126 @@
+// E3 — paper §3.3 item 2 / Mayo–Kearns [28]: with ε-synchronized physical
+// clocks, "when the overlap period of the local intervals, during which the
+// global predicate is true, is less than 2ε, false negatives occur."
+//
+// Controlled two-sensor pulse experiment: per episode, x1 is high for a
+// fixed pulse and x2's pulse is offset so the true overlap sweeps 0 … 4ε.
+// φ = x[1] > 0 && x[2] > 0 holds exactly during the overlap.
+//
+// Expected shape: detection probability ≈ 0 for overlap ≪ 2ε (the synced
+// timestamps can invert the edges), rising to ≈ 1 beyond 2ε.
+
+#include <cstdio>
+
+#include "analysis/scoring.hpp"
+#include "common/table.hpp"
+#include "core/detectors.hpp"
+#include "core/oracle.hpp"
+#include "core/predicate_parser.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace psn;
+
+struct EpisodeResult {
+  std::size_t episodes = 0;
+  std::size_t detected = 0;  ///< physical detector reported the occurrence
+};
+
+EpisodeResult run_pulses(Duration overlap, Duration epsilon,
+                         std::uint64_t seed) {
+  constexpr int kEpisodes = 120;
+  const Duration pulse = Duration::millis(5);
+  const Duration episode_gap = Duration::millis(50);
+
+  core::SystemConfig sys;
+  sys.num_sensors = 2;
+  sys.sim.seed = seed;
+  sys.sim.horizon = SimTime::zero() + episode_gap * (kEpisodes + 2);
+  sys.delay_kind = core::DelayKind::kFixed;
+  sys.delta = Duration::millis(2);
+  sys.clock_config.sync_epsilon = epsilon;
+  core::PervasiveSystem system(sys);
+
+  const auto o1 = system.world().create_object("pulse1");
+  const auto o2 = system.world().create_object("pulse2");
+  system.world().object(o1).set_attribute("x", std::int64_t{0});
+  system.world().object(o2).set_attribute("x", std::int64_t{0});
+  system.assign(o1, "x", 1);
+  system.assign(o2, "x", 2);
+
+  auto& sched = system.sim().scheduler();
+  for (int e = 0; e < kEpisodes; ++e) {
+    const SimTime base = SimTime::zero() + episode_gap * (e + 1);
+    // x1 high during [base, base+pulse); x2 high starting so that the pulses
+    // overlap by exactly `overlap` at the tail of x1's pulse.
+    const SimTime x2_rise = base + pulse - overlap;
+    sched.schedule_at(base, [&system, o1] {
+      system.world().emit(o1, "x", std::int64_t{1});
+    });
+    sched.schedule_at(x2_rise, [&system, o2] {
+      system.world().emit(o2, "x", std::int64_t{1});
+    });
+    sched.schedule_at(base + pulse, [&system, o1] {
+      system.world().emit(o1, "x", std::int64_t{0});
+    });
+    sched.schedule_at(x2_rise + pulse, [&system, o2] {
+      system.world().emit(o2, "x", std::int64_t{0});
+    });
+  }
+  system.run();
+
+  const auto phi = core::parse_predicate("p", "x[1] > 0 && x[2] > 0");
+  const core::GroundTruthOracle oracle(phi, system.sensing());
+  const auto truth = oracle.evaluate(system.timeline(), sys.sim.horizon);
+
+  const auto detections =
+      core::PhysicalClockDetector().run(system.log(), phi);
+  analysis::ScoreConfig score_cfg;
+  score_cfg.tolerance = Duration::millis(10);
+  const auto score = analysis::score_detections(truth, detections, score_cfg);
+
+  EpisodeResult r;
+  r.episodes = truth.occurrences.size();
+  r.detected = score.true_positives;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Duration epsilon = Duration::micros(500);
+  constexpr std::size_t kReps = 8;
+
+  std::printf(
+      "E3: physical-clock detection vs true overlap (eps = %s, pulse 5 ms,\n"
+      "    Mayo-Kearns predicts false negatives for overlap < 2*eps)\n\n",
+      epsilon.to_string().c_str());
+
+  Table table({"overlap/eps", "overlap (us)", "true occurrences", "detected",
+               "detection prob"});
+
+  for (const double ratio : {0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0}) {
+    const Duration overlap = epsilon.scaled(ratio);
+    std::size_t episodes = 0, detected = 0;
+    for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
+      const auto r = run_pulses(overlap, epsilon, seed);
+      episodes += r.episodes;
+      detected += r.detected;
+    }
+    table.row()
+        .cell(ratio, 3)
+        .cell(static_cast<double>(overlap.count_nanos()) / 1e3, 4)
+        .cell(episodes)
+        .cell(detected)
+        .cell(episodes ? static_cast<double>(detected) /
+                             static_cast<double>(episodes)
+                       : 0.0,
+              3);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+  std::printf(
+      "Claim check: detection probability low below overlap = 2*eps,\n"
+      "approaching 1 above it.\n");
+  return 0;
+}

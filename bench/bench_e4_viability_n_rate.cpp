@@ -1,0 +1,56 @@
+// E4 — paper §3.3: the viability condition for strobe clocks. "Δ may be
+// adequate when (a) the number of processes is low and/or (b) the rate of
+// occurrence of sensed events is comparatively low." And, echoing the [17]
+// simulations, "despite increasing the average message delay over a wide
+// range, the probability of correct detection is quite high."
+//
+// Sweep n (doors) × event rate at fixed Δ = 100 ms.
+// Expected shape: recall stays high at low rates for every n, and degrades
+// as rate·Δ grows; more processes → more concurrent traffic → more races.
+
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace psn;
+
+  constexpr std::size_t kReps = 8;
+  std::printf(
+      "E4: strobe-vector viability vs (n, event rate) at Delta = 100 ms "
+      "(%zu seeds x 60 s)\n\n",
+      kReps);
+
+  Table table({"doors (n)", "rate (events/s)", "rate*Delta", "occurrences",
+               "recall", "recall w/ borderline", "precision", "belief acc"});
+
+  for (const std::size_t doors : {2u, 4u, 8u, 16u, 32u}) {
+    for (const double rate : {1.0, 5.0, 20.0}) {
+      analysis::OccupancyConfig cfg;
+      cfg.doors = doors;
+      cfg.capacity = 50;
+      cfg.movement_rate = rate;
+      cfg.delta = Duration::millis(100);
+      cfg.horizon = Duration::seconds(60);
+      cfg.seed = 1000 + doors;
+
+      const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
+      const auto& v = agg.at("strobe-vector");
+      table.row()
+          .cell(doors)
+          .cell(rate, 3)
+          .cell(rate * 0.1, 3)
+          .cell(v.score.oracle_occurrences)
+          .cell(v.score.recall(), 3)
+          .cell(v.score.recall_with_borderline(), 3)
+          .cell(v.score.precision(), 3)
+          .cell(v.belief_accuracy.mean(), 4);
+    }
+  }
+  std::printf("%s\n", table.ascii().c_str());
+  std::printf(
+      "Claim check: high recall whenever rate*Delta is small, for every n;\n"
+      "degradation concentrates where rate*Delta approaches 1.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E6 — paper §5, the exhibition hall: d door sensors, capacity 200,
+// φ = Σ(x_i − y_i) > 200 detected with vector strobe clocks. "A false
+// negative may occur when the occupancy is above 200, and a false positive
+// may occur when the occupancy is below 201. ... the consensus based
+// algorithm using vector strobes will be able to place false positives and
+// most false negatives in a 'borderline bin' which is characterized by a
+// race condition. ... To err on the safe side, such entries can be treated
+// as positives."
+//
+// Sweep d ∈ {2, 4, 8} doors at the paper's scale.
+// Expected shape: all FPs and most FNs land in the borderline bin; treating
+// borderline as positive recovers nearly all missed crossings.
+
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace psn;
+
+  constexpr std::size_t kReps = 10;
+  std::printf(
+      "E6: exhibition hall (capacity 200, 25 movements/s, Delta = 150 ms, "
+      "%zu seeds x 120 s)\n\n",
+      kReps);
+
+  Table table({"doors", "crossings", "TP", "FP", "FN", "FN in bin",
+               "bin size", "recall", "recall w/ bin", "precision",
+               "p50 latency (ms)"});
+
+  for (const std::size_t doors : {2u, 4u, 8u}) {
+    analysis::OccupancyConfig cfg;
+    cfg.doors = doors;
+    cfg.capacity = 200;
+    cfg.movement_rate = 25.0;
+    cfg.delta = Duration::millis(150);
+    cfg.horizon = Duration::seconds(120);
+    cfg.seed = 42;
+
+    auto agg = analysis::run_occupancy_replicated(cfg, kReps);
+    const auto& v = agg.at("strobe-vector");
+    table.row()
+        .cell(doors)
+        .cell(v.score.oracle_occurrences)
+        .cell(v.score.true_positives)
+        .cell(v.score.false_positives)
+        .cell(v.score.false_negatives)
+        .cell(v.score.fn_covered_by_borderline)
+        .cell(v.score.borderline_detections)
+        .cell(v.score.recall(), 3)
+        .cell(v.score.recall_with_borderline(), 3)
+        .cell(v.score.precision(), 3)
+        .cell(v.score.latency_s.empty() ? 0.0
+                                        : v.score.latency_s.median() * 1e3,
+              4);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+
+  std::printf(
+      "Claim check: FP stays near zero (races quarantined); the borderline\n"
+      "bin covers most FNs, so the err-on-the-safe-side policy loses little.\n");
+  return 0;
+}

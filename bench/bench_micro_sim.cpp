@@ -1,0 +1,149 @@
+// Micro-benchmarks of the simulation substrate: event-calendar throughput,
+// strobe broadcast fan-out through the transport, end-to-end system steps,
+// and lattice enumeration cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detectors.hpp"
+#include "core/execution_view.hpp"
+#include "core/lattice.hpp"
+#include "core/predicate_parser.hpp"
+#include "core/system.hpp"
+#include "world/generators.hpp"
+
+namespace {
+
+using namespace psn;
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule_at(SimTime(static_cast<std::int64_t>(i)), [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleAndRun)->Range(1 << 10, 1 << 16);
+
+void BM_TransportBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::SimConfig cfg;
+  cfg.horizon = SimTime::max();
+  sim::Simulation sim(cfg);
+  net::Transport transport(sim, net::Overlay::complete(n),
+                           std::make_unique<net::FixedDelay>(Duration::millis(1)),
+                           std::make_unique<net::NoLoss>(), Rng(1));
+  for (ProcessId p = 0; p < n; ++p) {
+    transport.register_handler(p, [](const net::Message&) {});
+  }
+  net::Message msg;
+  msg.src = 0;
+  msg.kind = net::MessageKind::kStrobe;
+  net::SenseReportPayload payload;
+  payload.strobe_vector = clocks::VectorStamp(n);
+  msg.payload = payload;
+  for (auto _ : state) {
+    transport.broadcast(msg);
+    sim.scheduler().run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_TransportBroadcast)->RangeMultiplier(4)->Range(4, 64);
+
+void BM_FullOccupancySecond(benchmark::State& state) {
+  // Cost of one simulated second of the standard occupancy system,
+  // including sensing, stamping, broadcast, and logging.
+  const auto doors = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::SystemConfig sys;
+    sys.num_sensors = doors;
+    sys.sim.seed = 1;
+    sys.sim.horizon = SimTime::zero() + Duration::seconds(1);
+    sys.delta = Duration::millis(50);
+    core::PervasiveSystem system(sys);
+    std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+    for (ProcessId pid = 1; pid <= doors; ++pid) {
+      const auto obj = system.world().create_object("o" + std::to_string(pid));
+      system.world().object(obj).set_attribute("count", std::int64_t{0});
+      system.assign(obj, "count", pid);
+      drivers.push_back(std::make_unique<world::AttributeDriver>(
+          system.world(), obj, "count",
+          std::make_unique<world::PoissonArrivals>(20.0),
+          std::make_unique<world::CounterValue>(),
+          system.sim().rng_for("d", pid)));
+      drivers.back()->start();
+    }
+    benchmark::DoNotOptimize(system.run());
+  }
+}
+BENCHMARK(BM_FullOccupancySecond)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_DetectorThroughput(benchmark::State& state) {
+  // Updates/second each online detector can process, on a prebuilt log.
+  core::SystemConfig sys;
+  sys.num_sensors = 4;
+  sys.sim.seed = 3;
+  sys.sim.horizon = SimTime::zero() + Duration::seconds(30);
+  sys.delta = Duration::millis(50);
+  core::PervasiveSystem system(sys);
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  for (ProcessId pid = 1; pid <= 4; ++pid) {
+    const auto obj = system.world().create_object("o" + std::to_string(pid));
+    system.world().object(obj).set_attribute("count", std::int64_t{0});
+    system.assign(obj, "count", pid);
+    drivers.push_back(std::make_unique<world::AttributeDriver>(
+        system.world(), obj, "count",
+        std::make_unique<world::PoissonArrivals>(50.0),
+        std::make_unique<world::CounterValue>(),
+        system.sim().rng_for("d", pid)));
+    drivers.back()->start();
+  }
+  system.run();
+  const auto phi = core::parse_predicate("p", "sum(count) > 1000");
+  const auto detectors = core::all_online_detectors();
+  const auto& detector = detectors[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(detector->name());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector->run(system.log(), phi));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(system.log().updates.size()));
+}
+BENCHMARK(BM_DetectorThroughput)->DenseRange(0, 3);
+
+void BM_LatticeCount(benchmark::State& state) {
+  // Consistent-cut counting cost on a strobe execution of growing size.
+  const auto events_per_proc = static_cast<double>(state.range(0));
+  core::SystemConfig sys;
+  sys.num_sensors = 4;
+  sys.sim.seed = 9;
+  sys.sim.horizon = SimTime::zero() + Duration::seconds(4);
+  sys.delta = Duration::millis(100);
+  core::PervasiveSystem system(sys);
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  for (ProcessId pid = 1; pid <= 4; ++pid) {
+    const auto obj = system.world().create_object("o" + std::to_string(pid));
+    system.world().object(obj).set_attribute("count", std::int64_t{0});
+    system.assign(obj, "count", pid);
+    drivers.push_back(std::make_unique<world::AttributeDriver>(
+        system.world(), obj, "count",
+        std::make_unique<world::PoissonArrivals>(events_per_proc / 4.0),
+        std::make_unique<world::CounterValue>(),
+        system.sim().rng_for("d", pid)));
+    drivers.back()->start();
+  }
+  system.run();
+  const auto view = core::ExecutionView::from_strobe_stamps(system);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lattice::count_consistent_cuts(view));
+  }
+}
+BENCHMARK(BM_LatticeCount)->DenseRange(4, 20, 8);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// The paper's Section 5 scenario in full: a convention-center exhibition
+// hall with d entry-cum-exit doors, RFID badge sensors, fire-code capacity
+// of 200, and the global predicate
+//
+//     phi  =  sum_k (x_k - y_k)  >  200
+//
+// detected under the *Instantaneously* modality using logical strobe clocks
+// (no synchronized physical clocks), including the borderline bin: races
+// within Delta are flagged, and the application treats borderline entries as
+// positives "to err on the safe side".
+//
+// Usage: exhibition_hall [doors] [delta_ms] [seconds] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psn;
+
+  analysis::OccupancyConfig config;
+  config.doors = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  config.capacity = 200;
+  config.movement_rate = 25.0;
+  config.delta =
+      Duration::millis(argc > 2 ? std::atoll(argv[2]) : 150);
+  config.horizon = Duration::seconds(argc > 3 ? std::atoll(argv[3]) : 120);
+  config.seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 7;
+
+  std::printf(
+      "Exhibition hall: %zu doors, capacity %d, %.0f movements/s, "
+      "Delta=%s, horizon=%s, seed=%llu\n\n",
+      config.doors, config.capacity, config.movement_rate,
+      config.delta.to_string().c_str(), config.horizon.to_string().c_str(),
+      static_cast<unsigned long long>(config.seed));
+
+  const auto run = analysis::run_occupancy_experiment(config);
+
+  std::printf("ground truth: %zu threshold crossings, door events: %zu\n",
+              run.oracle.occurrences.size(), run.world_events);
+  std::printf("strobe broadcasts delivered to root: %zu  (end-to-end Delta bound %s)\n\n",
+              run.observed_updates, run.delta_bound.to_string().c_str());
+
+  Table table({"detector", "TP", "FP", "FN", "FN in borderline bin",
+               "recall", "recall w/ borderline", "precision",
+               "median latency (ms)"});
+  for (const auto& out : run.outcomes) {
+    table.row()
+        .cell(out.detector)
+        .cell(out.score.true_positives)
+        .cell(out.score.false_positives)
+        .cell(out.score.false_negatives)
+        .cell(out.score.fn_covered_by_borderline)
+        .cell(out.score.recall(), 3)
+        .cell(out.score.recall_with_borderline(), 3)
+        .cell(out.score.precision(), 3)
+        .cell(out.score.latency_s.empty()
+                  ? 0.0
+                  : out.score.latency_s.median() * 1e3,
+              4);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+
+  // The safety policy from the paper: every borderline entry is treated as a
+  // positive — entry to the hall is paused. Report what that policy costs.
+  const auto& vec = run.outcome("strobe-vector");
+  std::printf(
+      "Safety policy (treat borderline as positive): %zu extra pauses beyond\n"
+      "the %zu confirmed detections; %zu of %zu missed crossings recovered.\n",
+      vec.score.borderline_unmatched, vec.score.true_positives,
+      vec.score.fn_covered_by_borderline, vec.score.false_negatives);
+
+  // Message-cost contrast (paper §4.2.2): scalar strobes are O(1) per
+  // message, vector strobes O(n).
+  const auto& strobes = run.message_stats.of(net::MessageKind::kStrobe);
+  std::printf(
+      "\nStrobe traffic: %zu transmissions, %zu bytes in vector mode "
+      "(O(n) stamps).\n",
+      strobes.sent, strobes.bytes_sent);
+  return 0;
+}

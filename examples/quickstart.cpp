@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Two door sensors watch an exhibition hall; the root monitor must detect
+// every time the occupancy predicate  sum(entered) - sum(exited) > 50
+// becomes true — using only logical strobe clocks (no synchronized physical
+// clocks), exactly the setting of the paper's Section 5.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace psn;
+
+  analysis::OccupancyConfig config;
+  config.doors = 2;
+  config.capacity = 50;
+  config.movement_rate = 10.0;            // people movements per second
+  config.delta = Duration::millis(50);    // Δ-bounded message delay
+  config.horizon = Duration::seconds(30);
+  config.seed = 42;
+
+  std::printf("Running 2-door occupancy scenario (capacity %d, 30 s)...\n\n",
+              config.capacity);
+  const analysis::OccupancyRunResult run =
+      analysis::run_occupancy_experiment(config);
+
+  std::printf("world events: %zu   reports received at root: %zu\n",
+              run.world_events, run.observed_updates);
+  std::printf("ground truth: predicate became true %zu times (%.1f%% of time)\n\n",
+              run.oracle.occurrences.size(), 100.0 * run.oracle.fraction_true);
+
+  Table table({"detector", "detections", "borderline", "TP", "FP", "FN",
+               "FN covered", "recall", "precision", "belief acc"});
+  for (const auto& out : run.outcomes) {
+    table.row()
+        .cell(out.detector)
+        .cell(out.score.confident_detections)
+        .cell(out.score.borderline_detections)
+        .cell(out.score.true_positives)
+        .cell(out.score.false_positives)
+        .cell(out.score.false_negatives)
+        .cell(out.score.fn_covered_by_borderline)
+        .cell(out.score.recall(), 3)
+        .cell(out.score.precision(), 3)
+        .cell(out.belief_accuracy, 3);
+  }
+  std::printf("%s\n", table.ascii().c_str());
+
+  std::printf(
+      "Reading the table: the strobe-vector detector flags racy transitions\n"
+      "as 'borderline' instead of asserting them; the strobe-scalar detector\n"
+      "cannot see races and reports them confidently (its FPs); the physical\n"
+      "detector with eps-synchronized clocks is the near-ideal reference.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/experiments.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/detectors.hpp"
+#include "core/oracle.hpp"
+#include "core/predicate_parser.hpp"
+
+namespace psn::analysis {
+
+const DetectorOutcome& OccupancyRunResult::outcome(
+    const std::string& detector) const {
+  for (const auto& o : outcomes) {
+    if (o.detector == detector) return o;
+  }
+  PSN_CHECK(false, "no outcome for detector: " + detector);
+  return outcomes.front();
+}
+
+OccupancyRunResult run_occupancy_experiment(const OccupancyConfig& config) {
+  core::SystemConfig sys;
+  sys.num_sensors = config.doors;
+  sys.sim.seed = config.seed;
+  sys.sim.horizon = SimTime::zero() + config.horizon;
+  sys.delay_kind = config.delay_kind;
+  sys.delta = config.delta;
+  sys.clock_config.sync_epsilon = config.sync_epsilon;
+  sys.loss_probability = config.loss_probability;
+  sys.loss_windows = config.loss_windows;
+  sys.duty_cycle = config.duty_cycle;
+  sys.duty_phases_aligned = config.duty_phases_aligned;
+
+  core::PervasiveSystem system(sys);
+
+  world::ExhibitionHallConfig hall_cfg;
+  hall_cfg.doors = static_cast<int>(config.doors);
+  hall_cfg.capacity = config.capacity;
+  hall_cfg.movement_rate = config.movement_rate;
+  hall_cfg.target_occupancy = static_cast<double>(config.capacity);
+  hall_cfg.initial_occupancy = config.capacity > 10 ? config.capacity - 10 : 0;
+  world::ExhibitionHall hall(system.world(), hall_cfg,
+                             system.sim().rng_for("hall"));
+
+  // Door k is sensed by process k+1 (P_0 is the root monitor).
+  for (int k = 0; k < hall_cfg.doors; ++k) {
+    const auto pid = static_cast<ProcessId>(k + 1);
+    system.assign(hall.door_object(k), "entered", pid);
+    system.assign(hall.door_object(k), "exited", pid);
+  }
+
+  core::Predicate predicate = core::parse_predicate(
+      "overcrowded",
+      "sum(entered) - sum(exited) > " + std::to_string(config.capacity));
+
+  hall.start();
+  system.run();
+
+  OccupancyRunResult result;
+  core::GroundTruthOracle oracle(predicate, system.sensing());
+  result.oracle = oracle.evaluate(system.timeline(), sys.sim.horizon);
+  result.message_stats = system.message_stats();
+  result.observed_updates = system.log().updates.size();
+  result.world_events = system.timeline().size();
+  result.delta_bound = system.delta_bound();
+
+  ScoreConfig score_cfg;
+  score_cfg.tolerance = config.effective_tolerance();
+
+  for (const auto& detector : core::all_online_detectors()) {
+    DetectorOutcome out;
+    out.detector = detector->name();
+    out.detections = detector->run(system.log(), predicate);
+    out.score = score_detections(result.oracle, out.detections, score_cfg);
+    out.belief_accuracy =
+        belief_accuracy(result.oracle, out.detections, sys.sim.horizon);
+    result.outcomes.push_back(std::move(out));
+  }
+  return result;
+}
+
+std::map<std::string, AggregatedOutcome> run_occupancy_replicated(
+    OccupancyConfig config, std::size_t replications) {
+  PSN_CHECK(replications > 0, "need at least one replication");
+  std::map<std::string, AggregatedOutcome> agg;
+  for (std::size_t r = 0; r < replications; ++r) {
+    OccupancyConfig c = config;
+    c.seed = config.seed + r;
+    const OccupancyRunResult result = run_occupancy_experiment(c);
+    for (const auto& out : result.outcomes) {
+      auto& a = agg[out.detector];
+      a.score += out.score;
+      a.belief_accuracy.add(out.belief_accuracy);
+    }
+  }
+  return agg;
+}
+
+}  // namespace psn::analysis

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/scoring.hpp"
+#include "core/system.hpp"
+#include "net/transport.hpp"
+#include "world/scenarios.hpp"
+
+namespace psn::analysis {
+
+/// The canonical experiment of the paper (§5 exhibition hall): d door
+/// sensors, occupancy predicate Σ(entered_i − exited_i) > capacity, all four
+/// online detectors scored against the oracle on the same run. Most benches
+/// (E1, E2, E4, E6, E8, E9) are parameter sweeps over this.
+struct OccupancyConfig {
+  std::size_t doors = 2;
+  int capacity = 200;
+  /// Total people movements per second — the world-event rate λ the paper's
+  /// viability condition compares against Δ.
+  double movement_rate = 20.0;
+
+  core::DelayKind delay_kind = core::DelayKind::kUniformBounded;
+  Duration delta = Duration::millis(100);
+  Duration sync_epsilon = Duration::micros(100);
+  double loss_probability = 0.0;
+  std::vector<net::ScheduledBurstLoss::Window> loss_windows;
+
+  Duration horizon = Duration::seconds(60);
+  std::uint64_t seed = 1;
+
+  /// Optional receiver duty cycling for the door sensors (A3 ablation).
+  std::optional<net::DutyCycle> duty_cycle;
+  bool duty_phases_aligned = true;
+
+  /// Scoring tolerance; zero means "auto": 2Δ + 1 ms.
+  Duration score_tolerance = Duration::zero();
+
+  Duration effective_tolerance() const {
+    if (score_tolerance > Duration::zero()) return score_tolerance;
+    if (delta == Duration::max()) return Duration::seconds(2);
+    return delta * 2 + Duration::millis(1);
+  }
+};
+
+struct DetectorOutcome {
+  std::string detector;
+  std::vector<core::Detection> detections;
+  DetectionScore score;
+  /// Fraction of time the detector's belief matched ground truth
+  /// (reaction-latency-charged).
+  double belief_accuracy = 0.0;
+};
+
+struct OccupancyRunResult {
+  core::OracleResult oracle;
+  std::vector<DetectorOutcome> outcomes;
+  net::MessageStats message_stats;
+  std::size_t observed_updates = 0;
+  std::size_t world_events = 0;
+  Duration delta_bound;
+
+  const DetectorOutcome& outcome(const std::string& detector) const;
+};
+
+/// Builds the hall system, runs it, runs every online detector over the
+/// observation log, and scores each against the oracle.
+OccupancyRunResult run_occupancy_experiment(const OccupancyConfig& config);
+
+/// Aggregate of several seeds of the same configuration.
+struct AggregatedOutcome {
+  DetectionScore score;          ///< counts summed across replications
+  RunningStats belief_accuracy;  ///< per-replication accuracy samples
+};
+
+/// Runs `replications` seeds (seed, seed+1, …) and sums per-detector scores.
+std::map<std::string, AggregatedOutcome> run_occupancy_replicated(
+    OccupancyConfig config, std::size_t replications);
+
+}  // namespace psn::analysis

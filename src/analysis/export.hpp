@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+#include "core/detectors.hpp"
+#include "core/observation.hpp"
+#include "core/oracle.hpp"
+#include "world/timeline.hpp"
+
+namespace psn::analysis {
+
+/// CSV/Table exporters for the run artifacts — the interchange layer a user
+/// needs to plot results or post-process detections outside C++. All
+/// exporters return a Table (ASCII-renderable, CSV-writable via
+/// Table::write_csv / Table::csv).
+
+/// Ground-truth world events: time_s, object, attribute, value,
+/// covert_cause (-1 if spontaneous).
+Table timeline_table(const world::WorldTimeline& timeline);
+
+/// The root's observation log: delivered_s, reporter, attribute, value,
+/// sensed_s, scalar stamp, vector stamp.
+Table observation_table(const core::ObservationLog& log);
+
+/// A detector's transition stream: detected_s, to_true, borderline,
+/// cause_s, update_index.
+Table detections_table(const std::vector<core::Detection>& detections);
+
+/// Oracle occurrences: begin_s, end_s, duration_s.
+Table occurrences_table(const core::OracleResult& oracle);
+
+}  // namespace psn::analysis

@@ -1,0 +1,43 @@
+#include "clocks/hlc.hpp"
+
+#include <algorithm>
+
+namespace psn::clocks {
+
+std::string HlcStamp::to_string() const {
+  return l.to_string() + "+" + std::to_string(c);
+}
+
+HybridLogicalClock::HybridLogicalClock(ProcessId pid,
+                                       EpsSynchronizedClock& physical)
+    : pid_(pid), physical_(physical) {}
+
+HlcStamp HybridLogicalClock::tick(SimTime now) {
+  const SimTime pt = physical_.read(now);
+  if (pt > l_) {
+    l_ = pt;
+    c_ = 0;
+  } else {
+    c_++;
+  }
+  return current();
+}
+
+HlcStamp HybridLogicalClock::on_receive(const HlcStamp& incoming,
+                                        SimTime now) {
+  const SimTime pt = physical_.read(now);
+  const SimTime l_old = l_;
+  l_ = std::max({l_old, incoming.l, pt});
+  if (l_ == l_old && l_ == incoming.l) {
+    c_ = std::max(c_, incoming.c) + 1;
+  } else if (l_ == l_old) {
+    c_++;
+  } else if (l_ == incoming.l) {
+    c_ = incoming.c + 1;
+  } else {
+    c_ = 0;  // physical time moved us forward
+  }
+  return current();
+}
+
+}  // namespace psn::clocks

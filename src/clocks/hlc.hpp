@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "clocks/physical.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Hybrid logical clock (Kulkarni/Demirbas et al.) — implements the paper's
+/// "emerging areas" direction (Appendix A.2.d mentions massive-scale systems
+/// that today use exactly this construction): a scalar timestamp that is
+/// simultaneously (a) consistent with causality like a Lamport clock and
+/// (b) within a bounded distance of physical time when the underlying
+/// clocks are ε-synchronized and delays are Δ-bounded. It is the natural
+/// middle point of the paper's design space between §3.2.1.a.ii (imperfect
+/// physical) and §3.2.1.a.iii (logical scalar).
+struct HlcStamp {
+  SimTime l;           ///< logical wall-time component
+  std::uint32_t c = 0; ///< logical counter for same-l causality
+
+  friend bool operator==(const HlcStamp&, const HlcStamp&) = default;
+  friend bool operator<(const HlcStamp& a, const HlcStamp& b) {
+    if (a.l != b.l) return a.l < b.l;
+    return a.c < b.c;
+  }
+  std::string to_string() const;
+};
+
+class HybridLogicalClock {
+ public:
+  /// `physical` is this process's (possibly imperfectly synchronized)
+  /// physical clock; not owned.
+  HybridLogicalClock(ProcessId pid, EpsSynchronizedClock& physical);
+
+  /// Local/send event at true time `now`; returns the stamp to attach.
+  HlcStamp tick(SimTime now);
+  /// Receive event: merges the incoming stamp per the HLC rules.
+  HlcStamp on_receive(const HlcStamp& incoming, SimTime now);
+
+  HlcStamp current() const { return {l_, c_}; }
+  ProcessId pid() const { return pid_; }
+
+ private:
+  ProcessId pid_;
+  EpsSynchronizedClock& physical_;
+  SimTime l_;
+  std::uint32_t c_ = 0;
+};
+
+}  // namespace psn::clocks

@@ -1,0 +1,20 @@
+#include "clocks/lamport.hpp"
+
+#include <algorithm>
+
+namespace psn::clocks {
+
+ScalarStamp LamportClock::tick() {
+  value_++;
+  return current();
+}
+
+ScalarStamp LamportClock::on_send() { return tick(); }
+
+ScalarStamp LamportClock::on_receive(const ScalarStamp& received) {
+  value_ = std::max(value_, received.value);
+  value_++;
+  return current();
+}
+
+}  // namespace psn::clocks

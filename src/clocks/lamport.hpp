@@ -1,0 +1,35 @@
+#pragma once
+
+#include "clocks/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Lamport logical scalar clock (paper §4.2.2, rules SC1–SC3; Lamport 1978).
+///
+/// SC1: local relevant event      → C := C + 1
+/// SC2: send event                → C := C + 1; message carries C
+/// SC3: receive with timestamp T  → C := max(C, T); C := C + 1
+///
+/// Ticks only at semantic events; the resulting order, totally ordered by
+/// (value, pid), is consistent with causality but does not characterize it.
+class LamportClock {
+ public:
+  LamportClock(ProcessId pid) : pid_(pid) {}  // NOLINT: pid is *the* identity
+
+  /// SC1 — internal/sense/actuate event.
+  ScalarStamp tick();
+  /// SC2 — returns the stamp to piggyback on the outgoing message.
+  ScalarStamp on_send();
+  /// SC3 — merges the received stamp, then ticks.
+  ScalarStamp on_receive(const ScalarStamp& received);
+
+  ScalarStamp current() const { return {value_, pid_}; }
+  ProcessId pid() const { return pid_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  ProcessId pid_;
+};
+
+}  // namespace psn::clocks

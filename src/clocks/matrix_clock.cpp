@@ -1,0 +1,40 @@
+#include "clocks/matrix_clock.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+
+MatrixClock::MatrixClock(ProcessId pid, std::size_t n) : pid_(pid) {
+  PSN_CHECK(pid < n, "matrix clock pid out of dimension");
+  m_.assign(n, VectorStamp(n));
+}
+
+void MatrixClock::tick() { m_[pid_][pid_]++; }
+
+const std::vector<VectorStamp>& MatrixClock::on_send() {
+  tick();
+  return m_;
+}
+
+void MatrixClock::on_receive(ProcessId from,
+                             const std::vector<VectorStamp>& incoming) {
+  PSN_CHECK(from < m_.size(), "sender out of dimension");
+  PSN_CHECK(incoming.size() == m_.size(), "matrix dimension mismatch");
+  for (std::size_t row = 0; row < m_.size(); ++row) {
+    m_[row].merge(incoming[row]);
+  }
+  // We now know everything the sender knew at send time.
+  m_[pid_].merge(incoming[from]);
+  m_[pid_][pid_]++;
+}
+
+std::uint64_t MatrixClock::all_know_of(ProcessId target) const {
+  PSN_CHECK(target < m_.size(), "target out of dimension");
+  std::uint64_t low = UINT64_MAX;
+  for (const auto& row : m_) low = std::min(low, row[target]);
+  return low;
+}
+
+}  // namespace psn::clocks

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clocks/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Matrix clock: the "who knows what about whom" extension of vector time.
+/// Appendix A.2.d of the paper lists its classic applications — garbage
+/// collection and checkpointing: an item produced by process k's e-th event
+/// can be discarded once every process is known to know it, i.e. once
+/// min_j M[j][k] ≥ e.
+///
+/// At process i, row M[i] is i's own vector clock; row M[j] is i's best
+/// knowledge of j's vector clock. Messages piggyback the full matrix.
+class MatrixClock {
+ public:
+  MatrixClock(ProcessId pid, std::size_t n);
+
+  /// Local relevant event: own entry M[self][self] increments.
+  void tick();
+  /// Send event: tick, then piggyback current matrix (returned by ref).
+  const std::vector<VectorStamp>& on_send();
+  /// Receive from `from` with piggybacked matrix `incoming`:
+  ///   - every row merges component-wise (knowledge is monotone),
+  ///   - own row additionally absorbs the sender's row (we now know
+  ///     everything the sender knew), then ticks.
+  void on_receive(ProcessId from, const std::vector<VectorStamp>& incoming);
+
+  const std::vector<VectorStamp>& matrix() const { return m_; }
+  /// This process's own vector clock (row self).
+  const VectorStamp& vector() const { return m_[pid_]; }
+
+  /// The number of process `target`'s events that *every* process is known
+  /// (to this process) to know — the garbage-collection low-watermark.
+  std::uint64_t all_know_of(ProcessId target) const;
+
+  ProcessId pid() const { return pid_; }
+  std::size_t dimension() const { return m_.size(); }
+
+ private:
+  ProcessId pid_;
+  std::vector<VectorStamp> m_;
+};
+
+}  // namespace psn::clocks

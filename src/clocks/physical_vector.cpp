@@ -1,0 +1,59 @@
+#include "clocks/physical_vector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+
+void PhysicalVectorStamp::merge(const PhysicalVectorStamp& other) {
+  PSN_CHECK(v_.size() == other.v_.size(),
+            "physical vector stamps of different dimension");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = std::max(v_[i], other.v_[i]);
+  }
+}
+
+bool PhysicalVectorStamp::dominated_by(
+    const PhysicalVectorStamp& other) const {
+  PSN_CHECK(v_.size() == other.v_.size(),
+            "physical vector stamps of different dimension");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.v_[i]) return false;
+  }
+  return true;
+}
+
+PhysicalVectorClock::PhysicalVectorClock(ProcessId pid, std::size_t n,
+                                         DriftingClock& local)
+    : pid_(pid), local_(local), v_(n) {
+  PSN_CHECK(pid < n, "physical vector clock pid out of dimension");
+}
+
+const PhysicalVectorStamp& PhysicalVectorClock::tick(SimTime now) {
+  SimTime reading = local_.read(now);
+  // Enforce strict monotonicity of the own component so two events at the
+  // same process never share a stamp (read jitter could otherwise repeat or
+  // regress a reading).
+  if (reading <= v_[pid_]) reading = v_[pid_] + Duration::nanos(1);
+  v_[pid_] = reading;
+  return v_;
+}
+
+const PhysicalVectorStamp& PhysicalVectorClock::on_receive(
+    const PhysicalVectorStamp& incoming, SimTime now) {
+  v_.merge(incoming);
+  return tick(now);
+}
+
+PhysicalOrdering compare(const PhysicalVectorStamp& a,
+                         const PhysicalVectorStamp& b) {
+  if (a == b) return PhysicalOrdering::kEqual;
+  const bool ab = a.dominated_by(b);
+  const bool ba = b.dominated_by(a);
+  if (ab && !ba) return PhysicalOrdering::kBefore;
+  if (ba && !ab) return PhysicalOrdering::kAfter;
+  return PhysicalOrdering::kConcurrent;
+}
+
+}  // namespace psn::clocks

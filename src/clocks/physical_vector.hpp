@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/physical.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Physical (asynchronous) vector clock — paper §3.2.1.b.ii: "These vectors
+/// use the monotonic physical (local) unsynchronized clocks of the processes
+/// as the vector components. These seem an overkill to track causality, but
+/// are useful when relating the locally observed wall times at different
+/// locations, in the application predicate." (Also Appendix A.2.b: track
+/// "the exact physical time of the occurrence of events at other processes
+/// … that causally affect the current state".)
+///
+/// Component j of process i's vector is the latest local-clock reading of
+/// process j known (causally) to i. Comparison of two stamps with the usual
+/// component-wise dominance tracks causality exactly like a logical vector
+/// clock — at the cost of carrying wall times.
+class PhysicalVectorStamp {
+ public:
+  PhysicalVectorStamp() = default;
+  explicit PhysicalVectorStamp(std::size_t n)
+      : v_(n, SimTime::zero()) {}
+
+  std::size_t size() const { return v_.size(); }
+  SimTime operator[](std::size_t i) const { return v_[i]; }
+  SimTime& operator[](std::size_t i) { return v_[i]; }
+
+  void merge(const PhysicalVectorStamp& other);
+  bool dominated_by(const PhysicalVectorStamp& other) const;
+  friend bool operator==(const PhysicalVectorStamp&,
+                         const PhysicalVectorStamp&) = default;
+
+ private:
+  std::vector<SimTime> v_;
+};
+
+class PhysicalVectorClock {
+ public:
+  /// `local` is this process's free-running hardware clock (not owned).
+  PhysicalVectorClock(ProcessId pid, std::size_t n, DriftingClock& local);
+
+  /// Local relevant event at true time `now`: own component advances to the
+  /// local clock reading (strictly monotone even under read jitter).
+  const PhysicalVectorStamp& tick(SimTime now);
+  /// Send event: tick, then the current stamp is what gets piggybacked.
+  const PhysicalVectorStamp& on_send(SimTime now) { return tick(now); }
+  /// Receive: merge the incoming stamp, then tick.
+  const PhysicalVectorStamp& on_receive(const PhysicalVectorStamp& incoming,
+                                        SimTime now);
+
+  const PhysicalVectorStamp& current() const { return v_; }
+  ProcessId pid() const { return pid_; }
+
+  /// The latest known local wall time of process j (the paper's example:
+  /// "the physical time of the latest update to the versions of a file").
+  SimTime known_time_of(ProcessId j) const { return v_[j]; }
+
+ private:
+  ProcessId pid_;
+  DriftingClock& local_;
+  PhysicalVectorStamp v_;
+};
+
+/// Causality comparison for physical vector stamps: same semantics as the
+/// logical vector Ordering.
+enum class PhysicalOrdering { kBefore, kAfter, kEqual, kConcurrent };
+PhysicalOrdering compare(const PhysicalVectorStamp& a,
+                         const PhysicalVectorStamp& b);
+
+}  // namespace psn::clocks

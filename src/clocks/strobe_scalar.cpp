@@ -1,0 +1,16 @@
+#include "clocks/strobe_scalar.hpp"
+
+#include <algorithm>
+
+namespace psn::clocks {
+
+ScalarStamp StrobeScalarClock::on_relevant_event() {
+  value_++;
+  return current();
+}
+
+void StrobeScalarClock::on_strobe(const ScalarStamp& strobe) {
+  value_ = std::max(value_, strobe.value);
+}
+
+}  // namespace psn::clocks

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "clocks/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Strobe scalar clock (paper §4.2.2, rules SSC1–SSC2; Kshemkalyani 2010).
+///
+/// SSC1: process i senses a relevant event →
+///         C := C + 1; System-wide broadcast of C
+/// SSC2: process i receives a strobe T     → C := max(C, T)   (no tick!)
+///
+/// Unlike the Lamport clock, the receiver does *not* tick on receipt — a
+/// strobe is a control message used purely to re-synchronize the drifting
+/// scalars, not a causal message (paper §4.2.3 points 1–3). O(1) strobe size.
+class StrobeScalarClock {
+ public:
+  StrobeScalarClock(ProcessId pid) : pid_(pid) {}  // NOLINT
+
+  /// SSC1 — tick for the local relevant (sense) event; the returned stamp is
+  /// what the caller must broadcast system-wide.
+  ScalarStamp on_relevant_event();
+  /// SSC2 — merge a received strobe; no local tick.
+  void on_strobe(const ScalarStamp& strobe);
+
+  ScalarStamp current() const { return {value_, pid_}; }
+  ProcessId pid() const { return pid_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  ProcessId pid_;
+};
+
+}  // namespace psn::clocks

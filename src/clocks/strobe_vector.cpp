@@ -1,0 +1,21 @@
+#include "clocks/strobe_vector.hpp"
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+
+StrobeVectorClock::StrobeVectorClock(ProcessId pid, std::size_t n)
+    : v_(n), pid_(pid) {
+  PSN_CHECK(pid < n, "strobe vector clock pid out of dimension");
+}
+
+VectorStamp StrobeVectorClock::on_relevant_event() {
+  v_[pid_]++;
+  return v_;
+}
+
+void StrobeVectorClock::on_strobe(const VectorStamp& strobe) {
+  v_.merge(strobe);
+}
+
+}  // namespace psn::clocks

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+
+#include "clocks/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Strobe vector clock (paper §4.2.1, rules SVC1–SVC2; Kshemkalyani 2010).
+///
+/// SVC1: process i senses a relevant event →
+///         C[i] := C[i] + 1; System-wide broadcast of C
+/// SVC2: process i receives a strobe T     →
+///         ∀k: C[k] := max(C[k], T[k])     (no tick of C[i]!)
+///
+/// The strobes induce an artificial, run-time-determined partial order whose
+/// purpose is to *simulate the single time axis* for observing world-plane
+/// events (paper §4.2.4): every sensed change is strobed, so concurrent
+/// (vector-incomparable) sense events are exactly the races within Δ.
+class StrobeVectorClock {
+ public:
+  StrobeVectorClock(ProcessId pid, std::size_t n);
+
+  /// SVC1 — tick own component; the returned stamp must be broadcast.
+  VectorStamp on_relevant_event();
+  /// SVC2 — merge a received strobe; no local tick.
+  void on_strobe(const VectorStamp& strobe);
+
+  const VectorStamp& current() const { return v_; }
+  ProcessId pid() const { return pid_; }
+  std::size_t dimension() const { return v_.size(); }
+
+ private:
+  VectorStamp v_;
+  ProcessId pid_;
+};
+
+}  // namespace psn::clocks

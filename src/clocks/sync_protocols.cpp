@@ -1,0 +1,143 @@
+#include "clocks/sync_protocols.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+
+namespace {
+constexpr std::size_t kTimestampBytes = 8;   // one 64-bit timestamp
+constexpr std::size_t kHeaderBytes = 12;     // src, dst, kind
+
+Duration draw_delay(const SyncLinkModel& link, Rng& rng) {
+  Duration d = link.mean_delay;
+  if (link.jitter > Duration::zero()) {
+    d += rng.uniform_duration(-link.jitter, link.jitter);
+  }
+  return d < Duration::zero() ? Duration::zero() : d;
+}
+}  // namespace
+
+Duration max_pairwise_skew(const std::vector<DriftingClock>& clocks,
+                           SimTime t) {
+  Duration worst = Duration::zero();
+  for (std::size_t i = 0; i < clocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < clocks.size(); ++j) {
+      const Duration d =
+          (clocks[i].read_exact(t) - clocks[j].read_exact(t)).abs();
+      worst = std::max(worst, d);
+    }
+  }
+  return worst;
+}
+
+RbsSync::RbsSync(SyncLinkModel link, std::size_t rounds)
+    : link_(link), rounds_(rounds) {
+  PSN_CHECK(rounds_ > 0, "RBS needs at least one round");
+}
+
+SyncReport RbsSync::run(std::vector<DriftingClock>& clocks, SimTime when,
+                        Rng& rng) {
+  PSN_CHECK(clocks.size() >= 2, "sync needs at least two clocks");
+  const std::size_t n = clocks.size();
+  SyncReport report;
+
+  // offset_estimate[i]: average over rounds of (L_i(arrival_i) −
+  // L_0(arrival_0)) — node i's clock relative to node 0's, as observable
+  // through common beacons.
+  std::vector<double> offset_sum(n, 0.0);
+
+  SimTime t = when;
+  for (std::size_t r = 0; r < rounds_; ++r) {
+    // Beacon broadcast (the beacon sender is a separate transmitter; its own
+    // clock is irrelevant — that is the whole point of RBS).
+    report.messages += 1;
+    report.bytes += kHeaderBytes;  // beacon carries no timestamp
+
+    // Common propagation component (cancels), plus per-receiver jitter
+    // (does not cancel).
+    const Duration common = draw_delay(link_, rng);
+    std::vector<SimTime> arrival_local(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Duration recv_jitter = Duration::zero();
+      if (link_.jitter > Duration::zero()) {
+        recv_jitter = rng.uniform_duration(Duration::zero(), link_.jitter);
+      }
+      arrival_local[i] = clocks[i].read(t + common + recv_jitter);
+    }
+    // Receivers exchange arrival timestamps with node 0.
+    report.messages += n - 1;
+    report.bytes += (n - 1) * (kHeaderBytes + kTimestampBytes);
+
+    for (std::size_t i = 1; i < n; ++i) {
+      offset_sum[i] += (arrival_local[i] - arrival_local[0]).to_seconds();
+    }
+    t += Duration::millis(20);  // inter-beacon spacing
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const double mean_offset = offset_sum[i] / static_cast<double>(rounds_);
+    clocks[i].apply_correction(-Duration::from_seconds(mean_offset));
+  }
+
+  const SimTime eval = t;
+  for (std::size_t i = 1; i < n; ++i) {
+    const Duration err =
+        (clocks[i].read_exact(eval) - clocks[0].read_exact(eval)).abs();
+    report.residual_error_ns.add(static_cast<double>(err.count_nanos()));
+  }
+  report.achieved_skew = max_pairwise_skew(clocks, eval);
+  return report;
+}
+
+TpsnSync::TpsnSync(SyncLinkModel link, std::size_t rounds)
+    : link_(link), rounds_(rounds) {
+  PSN_CHECK(rounds_ > 0, "TPSN needs at least one round");
+}
+
+SyncReport TpsnSync::run(std::vector<DriftingClock>& clocks, SimTime when,
+                         Rng& rng) {
+  PSN_CHECK(clocks.size() >= 2, "sync needs at least two clocks");
+  const std::size_t n = clocks.size();
+  SyncReport report;
+
+  SimTime t = when;
+  for (std::size_t i = 1; i < n; ++i) {
+    double offset_sum = 0.0;
+    for (std::size_t r = 0; r < rounds_; ++r) {
+      const SimTime send_true = t;
+      const SimTime t1 = clocks[i].read(send_true);
+      const Duration up = draw_delay(link_, rng);
+      const SimTime t2 = clocks[0].read(send_true + up);
+      const Duration turnaround = Duration::micros(200);
+      const SimTime reply_true = send_true + up + turnaround;
+      const SimTime t3 = clocks[0].read(reply_true);
+      const Duration down = draw_delay(link_, rng);
+      const SimTime t4 = clocks[i].read(reply_true + down);
+
+      // offset of child relative to root; positive = child ahead.
+      const double off =
+          (((t1 - t2) + (t4 - t3)).to_seconds()) / 2.0;
+      offset_sum += off;
+
+      report.messages += 2;
+      report.bytes += 2 * (kHeaderBytes + 2 * kTimestampBytes);
+      t += Duration::millis(5);
+    }
+    clocks[i].apply_correction(
+        -Duration::from_seconds(offset_sum / static_cast<double>(rounds_)));
+  }
+
+  const SimTime eval = t;
+  for (std::size_t i = 1; i < n; ++i) {
+    const Duration err =
+        (clocks[i].read_exact(eval) - clocks[0].read_exact(eval)).abs();
+    report.residual_error_ns.add(static_cast<double>(err.count_nanos()));
+  }
+  report.achieved_skew = max_pairwise_skew(clocks, eval);
+  return report;
+}
+
+}  // namespace psn::clocks

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clocks/physical.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+
+namespace psn::clocks {
+
+/// Radio-link model used by the sync protocols: per-hop delay is
+/// `mean_delay` plus uniform noise in [-jitter, +jitter]. The *receive-side*
+/// component of that noise is what limits RBS accuracy; the round-trip
+/// asymmetry limits TPSN accuracy.
+struct SyncLinkModel {
+  Duration mean_delay = Duration::micros(500);
+  Duration jitter = Duration::micros(50);
+};
+
+/// Outcome of one synchronization pass: the paper stresses that this service
+/// "does not come for free" (§3.2.1.a.ii), so the cost columns matter as much
+/// as the achieved skew.
+struct SyncReport {
+  /// Max pairwise |clock_i(t) − clock_j(t)| right after the pass — the
+  /// achieved ε.
+  Duration achieved_skew = Duration::zero();
+  RunningStats residual_error_ns;  ///< per-node |clock − reference| in ns
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+/// Reference-Broadcast Synchronization (RBS-style, Elson et al.): a beacon is
+/// broadcast; every receiver timestamps its arrival locally; receivers then
+/// exchange arrival timestamps and compute pairwise offsets. The propagation
+/// delay is common-mode and cancels; only receive-side jitter remains.
+/// Averaging over `rounds` beacons reduces the residual by ~1/sqrt(rounds).
+///
+/// This implementation synchronizes nodes 1..n-1 to node 0 and applies the
+/// corrections to the supplied DriftingClocks.
+class RbsSync {
+ public:
+  RbsSync(SyncLinkModel link, std::size_t rounds = 8);
+
+  SyncReport run(std::vector<DriftingClock>& clocks, SimTime when, Rng& rng);
+
+ private:
+  SyncLinkModel link_;
+  std::size_t rounds_;
+};
+
+/// Sender-receiver two-way synchronization (TPSN-style, Ganeriwal et al.):
+/// each node performs a two-way timestamp exchange with the root:
+///   child sends at T1 (child clock), root receives at T2 (root clock),
+///   root replies at T3, child receives at T4;
+///   offset = ((T2−T1) − (T4−T3)) / 2.
+/// Residual error comes from delay asymmetry between the two directions.
+class TpsnSync {
+ public:
+  TpsnSync(SyncLinkModel link, std::size_t rounds = 4);
+
+  SyncReport run(std::vector<DriftingClock>& clocks, SimTime when, Rng& rng);
+
+ private:
+  SyncLinkModel link_;
+  std::size_t rounds_;
+};
+
+/// Measures the ground-truth max pairwise skew of a clock set at true time
+/// `t` (evaluation helper; a deployed network cannot compute this).
+Duration max_pairwise_skew(const std::vector<DriftingClock>& clocks, SimTime t);
+
+}  // namespace psn::clocks

@@ -1,0 +1,72 @@
+#include "clocks/timestamp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+
+const char* to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kBefore: return "before";
+    case Ordering::kAfter: return "after";
+    case Ordering::kEqual: return "equal";
+    case Ordering::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+std::string ScalarStamp::to_string() const {
+  return std::to_string(value) + "@" + std::to_string(pid);
+}
+
+Ordering compare(const ScalarStamp& a, const ScalarStamp& b) {
+  if (a == b) return Ordering::kEqual;
+  return a < b ? Ordering::kBefore : Ordering::kAfter;
+}
+
+void VectorStamp::merge(const VectorStamp& other) {
+  PSN_CHECK(v_.size() == other.v_.size(),
+            "vector stamps of different dimension");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = std::max(v_[i], other.v_[i]);
+  }
+}
+
+bool VectorStamp::dominated_by(const VectorStamp& other) const {
+  PSN_CHECK(v_.size() == other.v_.size(),
+            "vector stamps of different dimension");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.v_[i]) return false;
+  }
+  return true;
+}
+
+std::string VectorStamp::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Ordering compare(const VectorStamp& a, const VectorStamp& b) {
+  if (a == b) return Ordering::kEqual;
+  const bool ab = a.dominated_by(b);
+  const bool ba = b.dominated_by(a);
+  if (ab && !ba) return Ordering::kBefore;
+  if (ba && !ab) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+bool concurrent(const VectorStamp& a, const VectorStamp& b) {
+  return compare(a, b) == Ordering::kConcurrent;
+}
+
+bool happens_before(const VectorStamp& a, const VectorStamp& b) {
+  return compare(a, b) == Ordering::kBefore;
+}
+
+}  // namespace psn::clocks

@@ -1,0 +1,25 @@
+#include "clocks/vector_clock.hpp"
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+
+MatternVectorClock::MatternVectorClock(ProcessId pid, std::size_t n)
+    : v_(n), pid_(pid) {
+  PSN_CHECK(pid < n, "vector clock pid out of dimension");
+}
+
+VectorStamp MatternVectorClock::tick() {
+  v_[pid_]++;
+  return v_;
+}
+
+VectorStamp MatternVectorClock::on_send() { return tick(); }
+
+VectorStamp MatternVectorClock::on_receive(const VectorStamp& received) {
+  v_.merge(received);
+  v_[pid_]++;
+  return v_;
+}
+
+}  // namespace psn::clocks

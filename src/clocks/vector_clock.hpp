@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "clocks/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace psn::clocks {
+
+/// Mattern/Fidge causality-tracking vector clock (paper §4.2.1, VC1–VC3).
+///
+/// VC1: local relevant event      → C[i] := C[i] + 1
+/// VC2: send event                → C[i] := C[i] + 1; message carries C
+/// VC3: receive with vector T     → C := max(C, T); C[i] := C[i] + 1
+///
+/// The induced partial order is isomorphic to happens-before over the
+/// network-plane execution. Note the paper's warning (§4.2): this clock must
+/// never be driven by strobe traffic, or it will record false causality —
+/// strobe clocks are therefore a *separate* class (StrobeVectorClock).
+class MatternVectorClock {
+ public:
+  MatternVectorClock(ProcessId pid, std::size_t n);
+
+  /// VC1 — internal/sense/actuate event.
+  VectorStamp tick();
+  /// VC2 — returns the stamp to piggyback on the outgoing message.
+  VectorStamp on_send();
+  /// VC3 — merge then tick own component.
+  VectorStamp on_receive(const VectorStamp& received);
+
+  const VectorStamp& current() const { return v_; }
+  ProcessId pid() const { return pid_; }
+  std::size_t dimension() const { return v_.size(); }
+
+ private:
+  VectorStamp v_;
+  ProcessId pid_;
+};
+
+}  // namespace psn::clocks

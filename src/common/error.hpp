@@ -1,0 +1,48 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace psn {
+
+/// Thrown when an internal invariant of the library is violated. These
+/// indicate a bug in the library (or a misuse of an API precondition), never
+/// an expected runtime condition.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for invalid user-supplied configuration (bad parameters, malformed
+/// predicate text, inconsistent experiment setup).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failure(
+    const char* expr, const std::string& msg,
+    const std::source_location loc = std::source_location::current()) {
+  throw InvariantError(std::string(loc.file_name()) + ":" +
+                       std::to_string(loc.line()) + ": invariant `" + expr +
+                       "` violated" + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace psn
+
+/// Always-on invariant check (cheap checks on hot paths use PSN_DCHECK).
+#define PSN_CHECK(expr, msg)                             \
+  do {                                                   \
+    if (!(expr)) ::psn::detail::invariant_failure(#expr, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PSN_DCHECK(expr, msg) \
+  do {                        \
+  } while (0)
+#else
+#define PSN_DCHECK(expr, msg) PSN_CHECK(expr, msg)
+#endif

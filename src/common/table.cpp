@@ -1,0 +1,120 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace psn {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  PSN_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    PSN_CHECK(rows_.back().size() == columns_.size(),
+              "previous row incomplete: " + std::to_string(rows_.back().size()) +
+                  " of " + std::to_string(columns_.size()) + " cells filled");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  PSN_CHECK(!rows_.empty(), "call row() before cell()");
+  PSN_CHECK(rows_.back().size() < columns_.size(), "row already full");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  PSN_CHECK(row < rows_.size() && col < rows_[row].size(),
+            "table index out of range");
+  return rows_[row][col];
+}
+
+std::string Table::ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out += "| ";
+      out += v;
+      out.append(widths[c] - v.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::string out;
+  emit_row(columns_, out);
+  for (const std::size_t w : widths) {
+    out += "|";
+    out.append(w + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += csv_escape(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(r[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  PSN_CHECK(f.good(), "cannot open CSV output path: " + path);
+  f << csv();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.ascii();
+}
+
+}  // namespace psn

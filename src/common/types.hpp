@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace psn {
+
+/// Identifier of a sensor/actuator process in the network plane P.
+/// Process 0 is conventionally the distinguished root/back-end P_0
+/// (paper §2.1) when a configuration uses one.
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kNoProcess = UINT32_MAX;
+
+}  // namespace psn

@@ -1,0 +1,206 @@
+#include "core/detectors.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "clocks/timestamp.hpp"
+#include "common/error.hpp"
+
+namespace psn::core {
+
+namespace {
+
+/// Shared evaluation shell: applies accepted updates to a GlobalState and
+/// turns truth-value changes into Detections.
+class TransitionTracker {
+ public:
+  explicit TransitionTracker(const Predicate& predicate)
+      : predicate_(predicate), holding_(predicate.holds(state_)) {}
+
+  GlobalState& state() { return state_; }
+  const GlobalState& state() const { return state_; }
+  bool holding() const { return holding_; }
+
+  /// Re-evaluates after an applied update; appends a Detection on change.
+  void evaluate(const ReceivedUpdate& update, std::size_t index,
+                bool borderline, std::vector<Detection>& out) {
+    const bool now_holds = predicate_.holds(state_);
+    if (now_holds == holding_) return;
+    holding_ = now_holds;
+    Detection d;
+    d.detected_at = update.delivered_at;
+    d.to_true = now_holds;
+    d.borderline = borderline;
+    d.cause_true_time = update.report.true_sense_time;
+    d.update_index = index;
+    out.push_back(d);
+  }
+
+ private:
+  const Predicate& predicate_;
+  GlobalState state_;
+  bool holding_;
+};
+
+VarRef var_of(const ReceivedUpdate& u) {
+  return VarRef{u.reporter, u.report.attribute};
+}
+
+}  // namespace
+
+std::vector<Detection> DeliveryOrderDetector::run(
+    const ObservationLog& log, const Predicate& predicate) const {
+  std::vector<Detection> out;
+  TransitionTracker tracker(predicate);
+  for (std::size_t i = 0; i < log.updates.size(); ++i) {
+    const auto& u = log.updates[i];
+    tracker.state().set(var_of(u), u.report.value.numeric());
+    tracker.evaluate(u, i, /*borderline=*/false, out);
+  }
+  return out;
+}
+
+std::vector<Detection> StrobeScalarDetector::run(
+    const ObservationLog& log, const Predicate& predicate) const {
+  std::vector<Detection> out;
+  TransitionTracker tracker(predicate);
+  std::map<VarRef, clocks::ScalarStamp> latest;
+
+  for (std::size_t i = 0; i < log.updates.size(); ++i) {
+    const auto& u = log.updates[i];
+    const VarRef var = var_of(u);
+    const clocks::ScalarStamp stamp = u.report.strobe_scalar;
+    const auto it = latest.find(var);
+    if (it != latest.end() && !(it->second < stamp)) {
+      continue;  // stale under the (value, pid) total order
+    }
+    latest[var] = stamp;
+    tracker.state().set(var, u.report.value.numeric());
+    tracker.evaluate(u, i, /*borderline=*/false, out);
+  }
+  return out;
+}
+
+struct IncrementalStrobeVectorDetector::Impl {
+  explicit Impl(Predicate p) : predicate(std::move(p)), tracker(predicate) {}
+
+  Predicate predicate;
+  TransitionTracker tracker;
+  std::map<VarRef, clocks::VectorStamp> latest;
+};
+
+IncrementalStrobeVectorDetector::IncrementalStrobeVectorDetector(
+    Predicate predicate)
+    : impl_(std::make_unique<Impl>(std::move(predicate))) {}
+
+IncrementalStrobeVectorDetector::~IncrementalStrobeVectorDetector() = default;
+IncrementalStrobeVectorDetector::IncrementalStrobeVectorDetector(
+    IncrementalStrobeVectorDetector&&) noexcept = default;
+IncrementalStrobeVectorDetector& IncrementalStrobeVectorDetector::operator=(
+    IncrementalStrobeVectorDetector&&) noexcept = default;
+
+bool IncrementalStrobeVectorDetector::holding() const {
+  return impl_->tracker.holding();
+}
+
+const Predicate& IncrementalStrobeVectorDetector::predicate() const {
+  return impl_->predicate;
+}
+
+std::optional<Detection> IncrementalStrobeVectorDetector::feed(
+    const ReceivedUpdate& u, std::size_t index) {
+  const VarRef var = var_of(u);
+  const clocks::VectorStamp& stamp = u.report.strobe_vector;
+
+  const auto it = impl_->latest.find(var);
+  if (it != impl_->latest.end()) {
+    const clocks::Ordering ord = clocks::compare(stamp, it->second);
+    if (ord == clocks::Ordering::kBefore || ord == clocks::Ordering::kEqual) {
+      return std::nullopt;  // causally superseded by what we already applied
+    }
+  }
+
+  // Race check (the borderline-bin rule, DESIGN.md §6.3): is this update
+  // concurrent with the current update of any *other* variable that the
+  // predicate reads? If so, the assembled state may not correspond to any
+  // instant of the single time axis.
+  bool race = false;
+  std::set<VarRef> read;
+  impl_->predicate.expr()->collect_vars(impl_->tracker.state(), read);
+  read.insert(var);  // the variable being written always matters
+  for (const auto& [other_var, other_stamp] : impl_->latest) {
+    if (other_var == var) continue;
+    if (!read.contains(other_var)) continue;
+    if (clocks::concurrent(stamp, other_stamp)) {
+      race = true;
+      break;
+    }
+  }
+
+  impl_->latest[var] = stamp;
+  impl_->tracker.state().set(var, u.report.value.numeric());
+  std::vector<Detection> out;
+  impl_->tracker.evaluate(u, index, race, out);
+  if (out.empty()) return std::nullopt;
+  return out.front();
+}
+
+std::vector<Detection> StrobeVectorDetector::run(
+    const ObservationLog& log, const Predicate& predicate) const {
+  std::vector<Detection> out;
+  IncrementalStrobeVectorDetector incremental(predicate);
+  for (std::size_t i = 0; i < log.updates.size(); ++i) {
+    if (auto d = incremental.feed(log.updates[i], i)) {
+      out.push_back(*d);
+    }
+  }
+  return out;
+}
+
+std::vector<Detection> PhysicalClockDetector::run(
+    const ObservationLog& log, const Predicate& predicate) const {
+  // Order updates by their ε-synchronized timestamps. (Offline sort stands
+  // in for the online watermark buffer a deployed root would use under the
+  // Δ-bounded delay assumption; the accepted order is identical.)
+  std::vector<std::size_t> order(log.updates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const auto& ua = log.updates[a];
+                     const auto& ub = log.updates[b];
+                     if (ua.report.synced_timestamp !=
+                         ub.report.synced_timestamp) {
+                       return ua.report.synced_timestamp <
+                              ub.report.synced_timestamp;
+                     }
+                     return ua.reporter < ub.reporter;
+                   });
+
+  std::vector<Detection> out;
+  TransitionTracker tracker(predicate);
+  // An online root processes an update only after everything with a smaller
+  // timestamp has arrived, so the earliest it can act on update i is the
+  // latest delivery among i and its timestamp-predecessors (the watermark).
+  SimTime watermark = SimTime::zero();
+  for (const std::size_t i : order) {
+    const auto& u = log.updates[i];
+    watermark = std::max(watermark, u.delivered_at);
+    tracker.state().set(var_of(u), u.report.value.numeric());
+    const std::size_t before = out.size();
+    tracker.evaluate(u, i, /*borderline=*/false, out);
+    if (out.size() > before) out.back().detected_at = watermark;
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Detector>> all_online_detectors() {
+  std::vector<std::unique_ptr<Detector>> out;
+  out.push_back(std::make_unique<DeliveryOrderDetector>());
+  out.push_back(std::make_unique<StrobeScalarDetector>());
+  out.push_back(std::make_unique<StrobeVectorDetector>());
+  out.push_back(std::make_unique<PhysicalClockDetector>());
+  return out;
+}
+
+}  // namespace psn::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "core/predicate.hpp"
+
+namespace psn::core {
+
+/// One reported change of φ's truth value by a detector. `cause_true_time`
+/// is scoring metadata (the true time of the sense that triggered the
+/// report); the detector's *decision* never reads it.
+struct Detection {
+  SimTime detected_at;      ///< when the root could have acted (delivery time)
+  bool to_true = false;
+  /// Vector-strobe detectors flag a transition as borderline when the
+  /// deciding updates were concurrent (a race within Δ) — the paper's
+  /// "borderline bin" (§5). The application may treat these as positives to
+  /// err on the safe side.
+  bool borderline = false;
+  SimTime cause_true_time;
+  std::size_t update_index = 0;  ///< index into ObservationLog::updates
+};
+
+/// Online every-occurrence global-predicate detector over the root's
+/// observation stream. Unlike the "detect once then hang" algorithms the
+/// paper criticizes (§3.3), all implementations emit a full transition
+/// stream: became-true and became-false, every time.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<Detection> run(const ObservationLog& log,
+                                     const Predicate& predicate) const = 0;
+};
+
+/// Baseline: applies updates in raw delivery order with no staleness
+/// filtering at all. Shows what the strobe machinery buys (ablation ◊).
+class DeliveryOrderDetector final : public Detector {
+ public:
+  std::string name() const override { return "delivery-order"; }
+  std::vector<Detection> run(const ObservationLog& log,
+                             const Predicate& predicate) const override;
+};
+
+/// Strobe *scalar* clock detection (paper §4.2.2 + [25]): the total order
+/// (stamp value, pid) simulates the single time axis. Stale updates — those
+/// whose stamp is not newer than the variable's current stamp — are
+/// discarded. Races are invisible in a total order, so wrong interleavings
+/// are reported confidently: this is where the scalar clock's false
+/// positives come from (§3.3).
+class StrobeScalarDetector final : public Detector {
+ public:
+  std::string name() const override { return "strobe-scalar"; }
+  std::vector<Detection> run(const ObservationLog& log,
+                             const Predicate& predicate) const override;
+};
+
+/// Strobe *vector* clock detection (paper §4.2.1 + [24]): staleness uses the
+/// vector partial order, and — crucially — a transition decided by updates
+/// whose stamps are pairwise concurrent is flagged `borderline` instead of
+/// being asserted. Vector strobes thus trade the scalar's false positives
+/// for classified races (§3.3, §5).
+class StrobeVectorDetector final : public Detector {
+ public:
+  std::string name() const override { return "strobe-vector"; }
+  std::vector<Detection> run(const ObservationLog& log,
+                             const Predicate& predicate) const override;
+};
+
+/// ε-synchronized physical-clock detection (Mayo–Kearns / Stoller style,
+/// paper §3.1.1.a.i): updates are ordered by their synchronized timestamps.
+/// Mis-ordering happens only when two events fall within the clock service's
+/// skew — the 2ε false-negative window of [28].
+class PhysicalClockDetector final : public Detector {
+ public:
+  std::string name() const override { return "physical-eps"; }
+  std::vector<Detection> run(const ObservationLog& log,
+                             const Predicate& predicate) const override;
+};
+
+/// All four online detectors, for side-by-side experiment sweeps.
+std::vector<std::unique_ptr<Detector>> all_online_detectors();
+
+/// Incremental form of the strobe-vector detector, for true online use
+/// inside a running simulation (core/online_monitor): feed updates one at a
+/// time; a Detection is returned whenever φ's truth value changed.
+/// StrobeVectorDetector::run() is exactly a fold of this over the log.
+class IncrementalStrobeVectorDetector {
+ public:
+  explicit IncrementalStrobeVectorDetector(Predicate predicate);
+  ~IncrementalStrobeVectorDetector();
+  IncrementalStrobeVectorDetector(IncrementalStrobeVectorDetector&&) noexcept;
+  IncrementalStrobeVectorDetector& operator=(
+      IncrementalStrobeVectorDetector&&) noexcept;
+
+  std::optional<Detection> feed(const ReceivedUpdate& update,
+                                std::size_t index);
+  bool holding() const;
+  const Predicate& predicate() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace psn::core

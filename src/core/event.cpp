@@ -1,0 +1,16 @@
+#include "core/event.hpp"
+
+namespace psn::core {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kCompute: return "compute";
+    case EventType::kSense: return "sense";
+    case EventType::kActuate: return "actuate";
+    case EventType::kSend: return "send";
+    case EventType::kReceive: return "receive";
+  }
+  return "?";
+}
+
+}  // namespace psn::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "clocks/clock_bundle.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "core/variables.hpp"
+#include "world/event.hpp"
+
+namespace psn::core {
+
+/// The paper's execution model (§2.2): at each process, local execution is a
+/// sequence of states and transitions caused by events of five types.
+enum class EventType : std::uint8_t {
+  kCompute,  ///< c — internal computation
+  kSense,    ///< n — observation of a world-plane attribute change
+  kActuate,  ///< a — output to a world-plane object
+  kSend,     ///< s — send of a computation message to another process in P
+  kReceive,  ///< r — receive of a computation message
+};
+
+const char* to_string(EventType t);
+
+/// One recorded event of a process's local execution. Carries the full clock
+/// bundle snapshot taken *after* the event's clock rules fired, so any
+/// detector/analysis can reconstruct its view under any time model.
+struct ProcessEvent {
+  ProcessId pid = kNoProcess;
+  EventType type = EventType::kCompute;
+  /// 1-based index of this event within its process's local sequence.
+  std::size_t local_index = 0;
+  clocks::ClockSnapshot clocks;
+
+  /// For sense events: the variable updated and its new value.
+  std::optional<VarRef> var;
+  double value = 0.0;
+  /// For sense events: which world event was observed.
+  world::WorldEventIndex world_event = world::kNoWorldEvent;
+};
+
+/// The interval between two successive relevant local events (paper §2.2:
+/// "the time duration between two successive events at a process identifies
+/// an interval"); the variable holds `value` throughout.
+struct LocalInterval {
+  ProcessId pid = kNoProcess;
+  VarRef var;
+  double value = 0.0;
+  SimTime begin;             ///< true time the value was sensed
+  SimTime end;               ///< true time of the next change (or horizon)
+  std::size_t begin_event = 0;  ///< local index of the opening sense event
+};
+
+}  // namespace psn::core

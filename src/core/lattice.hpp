@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/execution_view.hpp"
+#include "core/predicate.hpp"
+
+namespace psn::core::lattice {
+
+/// Result of walking the lattice of consistent global states (consistent
+/// cuts / order ideals) of an execution.
+struct LatticeStats {
+  std::uint64_t consistent_cuts = 0;  ///< number of consistent global states
+  std::uint64_t total_events = 0;
+  /// True when the lattice is a chain: exactly total_events + 1 cuts — the
+  /// Δ = 0 collapse of paper §4.2.4 ("a linear order of np states").
+  bool linear = false;
+  /// The walk stopped at the cap without exhausting the lattice.
+  bool truncated = false;
+};
+
+/// Counts consistent cuts by BFS from the empty cut (every consistent cut is
+/// reachable through consistent cuts, adding one event per step). `cap`
+/// bounds the walk — the unconstrained lattice is O(pⁿ) (paper §4.2.4) and
+/// experiments only need to know "vastly larger".
+LatticeStats count_consistent_cuts(const ExecutionView& view,
+                                   std::uint64_t cap = 50'000'000);
+
+/// Upper bound ignoring all ordering: Π (events_i + 1) — the size of the
+/// unconstrained cut lattice the paper calls "the lattice of pⁿ states".
+double unconstrained_cuts(const ExecutionView& view);
+
+/// Cooper–Marzullo Possibly(φ): does some consistent cut satisfy φ?
+bool possibly(const ExecutionView& view, const Predicate& predicate,
+              std::uint64_t cap = 50'000'000);
+
+/// Cooper–Marzullo Definitely(φ): does every maximal path of consistent cuts
+/// from ⊥ to ⊤ pass through a φ-true cut? Implemented as reachability of ⊤
+/// through ¬φ cuts only.
+bool definitely(const ExecutionView& view, const Predicate& predicate,
+                std::uint64_t cap = 50'000'000);
+
+/// The witness cut found by possibly(), if any (for diagnostics/tests).
+std::optional<std::vector<std::size_t>> possibly_witness(
+    const ExecutionView& view, const Predicate& predicate,
+    std::uint64_t cap = 50'000'000);
+
+}  // namespace psn::core::lattice

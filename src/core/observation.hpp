@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace psn::core {
+
+/// One sense report as it arrived at the root monitor P_0 — the raw input of
+/// every online detector. Delivery order (not sense order!) is the order a
+/// real root would see; the difference between the two *is* the race problem
+/// this paper is about.
+struct ReceivedUpdate {
+  SimTime delivered_at;
+  ProcessId reporter = kNoProcess;
+  net::SenseReportPayload report;
+};
+
+/// Everything the root observed during one run, in delivery order, plus the
+/// facts detectors are allowed to know statically (process count, Δ bound).
+struct ObservationLog {
+  std::size_t num_processes = 0;
+  /// The transport's delay bound Δ (Duration::max() if unbounded); detectors
+  /// may use it — the paper's Δ-bounded model makes it known (§3.2.2.b).
+  Duration delta_bound = Duration::max();
+  std::vector<ReceivedUpdate> updates;
+};
+
+}  // namespace psn::core

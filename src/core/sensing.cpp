@@ -1,0 +1,180 @@
+#include "core/sensing.hpp"
+
+#include "common/error.hpp"
+
+namespace psn::core {
+
+void SensingMap::assign(world::ObjectId object, const std::string& attribute,
+                        ProcessId sensor) {
+  PSN_CHECK(sensor != kNoProcess, "invalid sensor pid");
+  const auto key = std::make_pair(object, attribute);
+  PSN_CHECK(!map_.contains(key),
+            "(object, attribute) already assigned to a sensor");
+  map_[key] = sensor;
+}
+
+ProcessId SensingMap::sensor_of(world::ObjectId object,
+                                const std::string& attribute) const {
+  const auto it = map_.find({object, attribute});
+  return it == map_.end() ? kNoProcess : it->second;
+}
+
+VarRef SensingMap::var_of(world::ObjectId object,
+                          const std::string& attribute) const {
+  const ProcessId pid = sensor_of(object, attribute);
+  PSN_CHECK(pid != kNoProcess, "variable not assigned to any sensor");
+  return VarRef{pid, attribute};
+}
+
+bool SensingMap::is_assigned(world::ObjectId object,
+                             const std::string& attribute) const {
+  return map_.contains({object, attribute});
+}
+
+SensorNode::SensorNode(ProcessId pid, std::size_t n, sim::Simulation& sim,
+                       net::Transport& transport,
+                       clocks::ClockBundleConfig clock_config, Rng rng)
+    : pid_(pid),
+      sim_(sim),
+      transport_(transport),
+      bundle_(pid, n, clock_config, rng) {}
+
+void SensorNode::record_event(EventType type, std::optional<VarRef> var,
+                              double value,
+                              world::WorldEventIndex world_event) {
+  ProcessEvent ev;
+  ev.pid = pid_;
+  ev.type = type;
+  ev.local_index = events_.size() + 1;
+  ev.clocks = bundle_.snapshot(sim_.now());
+  ev.var = std::move(var);
+  ev.value = value;
+  ev.world_event = world_event;
+  events_.push_back(std::move(ev));
+}
+
+void SensorNode::enable_observation_log(std::size_t n, Duration delta_bound) {
+  observing_ = true;
+  local_log_.num_processes = n;
+  local_log_.delta_bound = delta_bound;
+}
+
+void SensorNode::sense(const world::WorldEvent& ev) {
+  // SSC1/SVC1 (and SC1/VC1 for the causal clocks) fire before the snapshot,
+  // so the recorded stamp is the post-tick value — the one broadcast.
+  const clocks::StrobeOut strobes = bundle_.on_sense_event();
+
+  const VarRef var{pid_, ev.attribute};
+  record_event(EventType::kSense, var, ev.value.numeric(), ev.index);
+
+  const SimTime now = sim_.now();
+  net::Message msg;
+  msg.src = pid_;
+  msg.kind = net::MessageKind::kStrobe;
+  net::SenseReportPayload payload;
+  payload.object = ev.object;
+  payload.attribute = ev.attribute;
+  payload.value = ev.value;
+  payload.strobe_scalar = strobes.scalar;
+  payload.strobe_vector = strobes.vector;
+  payload.synced_timestamp = bundle_.synced().read(now);
+  payload.local_timestamp = bundle_.drifting().read(now);
+  payload.true_sense_time = now;
+  payload.world_event = ev.index;
+  if (observing_) {
+    // The sensor observes its own sense instantly (zero-delay self-report).
+    ReceivedUpdate u;
+    u.delivered_at = now;
+    u.reporter = pid_;
+    u.report = payload;
+    local_log_.updates.push_back(std::move(u));
+  }
+  msg.payload = std::move(payload);
+  transport_.broadcast(std::move(msg));
+}
+
+void SensorNode::send_computation(ProcessId dst, const std::string& tag) {
+  const clocks::PiggybackStamps stamps = bundle_.on_send();
+  record_event(EventType::kSend);
+  net::Message msg;
+  msg.src = pid_;
+  msg.dst = dst;
+  msg.kind = net::MessageKind::kComputation;
+  net::ComputationPayload payload;
+  payload.stamps = stamps;
+  payload.tag = tag;
+  msg.payload = std::move(payload);
+  transport_.unicast(std::move(msg));
+}
+
+void SensorNode::compute() {
+  bundle_.on_internal_event();
+  record_event(EventType::kCompute);
+}
+
+void SensorNode::actuate(world::WorldModel& world, world::ObjectId object,
+                         const std::string& attribute,
+                         world::AttributeValue value) {
+  bundle_.on_internal_event();
+  record_event(EventType::kActuate);
+  world.emit(object, attribute, value);
+}
+
+void SensorNode::on_message(const net::Message& msg) {
+  switch (msg.kind) {
+    case net::MessageKind::kStrobe: {
+      // SSC2/SVC2: merge, no tick, and the causal clocks are untouched —
+      // strobes are control messages (paper §4.2.3).
+      const auto& report = msg.sense_report();
+      bundle_.on_strobe(report.strobe_scalar, report.strobe_vector);
+      if (observing_) {
+        ReceivedUpdate u;
+        u.delivered_at = sim_.now();
+        u.reporter = msg.src;
+        u.report = report;
+        local_log_.updates.push_back(std::move(u));
+      }
+      break;
+    }
+    case net::MessageKind::kComputation: {
+      bundle_.on_receive(msg.computation().stamps);  // SC3/VC3
+      record_event(EventType::kReceive);
+      break;
+    }
+    case net::MessageKind::kActuation: {
+      // Apply the command to the world plane as an a-event. Requires the
+      // world to have been bound (PervasiveSystem does this).
+      const auto& cmd = msg.actuation();
+      PSN_CHECK(world_ != nullptr,
+                "actuation command received but no world bound");
+      actuate(*world_, cmd.object, cmd.attribute, cmd.value);
+      break;
+    }
+    case net::MessageKind::kSync:
+      // Sync traffic is modeled analytically (clocks/sync_protocols).
+      break;
+  }
+}
+
+RootMonitor::RootMonitor(ProcessId pid, std::size_t n, sim::Simulation& sim,
+                         clocks::ClockBundleConfig clock_config, Rng rng)
+    : pid_(pid), sim_(sim), bundle_(pid, n, clock_config, rng) {
+  log_.num_processes = n;
+}
+
+void RootMonitor::on_message(const net::Message& msg) {
+  if (msg.kind != net::MessageKind::kStrobe) return;
+  const auto& report = msg.sense_report();
+  bundle_.on_strobe(report.strobe_scalar, report.strobe_vector);
+  ReceivedUpdate u;
+  u.delivered_at = sim_.now();
+  u.reporter = msg.src;
+  u.report = report;
+  log_.updates.push_back(std::move(u));
+  const std::size_t index = log_.updates.size() - 1;
+  for (const auto& observer : observers_) {
+    observer(log_.updates[index], index);
+  }
+}
+
+}  // namespace psn::core

@@ -1,0 +1,88 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::core {
+
+SnapshotParticipant::SnapshotParticipant(ProcessId self,
+                                         std::vector<ProcessId> peers,
+                                         SendMarkerFn send_marker)
+    : self_(self), peers_(std::move(peers)), send_marker_(std::move(send_marker)) {
+  PSN_CHECK(static_cast<bool>(send_marker_), "null marker hook");
+  PSN_CHECK(std::find(peers_.begin(), peers_.end(), self_) == peers_.end(),
+            "a process is not its own peer");
+}
+
+void SnapshotParticipant::set_state_provider(
+    std::function<std::int64_t()> provider) {
+  state_provider_ = std::move(provider);
+}
+
+void SnapshotParticipant::record_and_flood() {
+  PSN_CHECK(static_cast<bool>(state_provider_),
+            "snapshot participant needs a state provider");
+  recorded_state_ = state_provider_();
+  for (const ProcessId p : peers_) send_marker_(p);
+}
+
+void SnapshotParticipant::initiate() {
+  PSN_CHECK(!recorded_state_.has_value(), "snapshot already in progress");
+  record_and_flood();
+  // Record every incoming channel until its marker arrives.
+  for (const ProcessId p : peers_) recording_[p] = 0;
+}
+
+void SnapshotParticipant::on_marker(ProcessId from) {
+  if (!recorded_state_.has_value()) {
+    // First marker: record state now; the channel it arrived on is empty
+    // (FIFO: everything the sender sent before its marker has arrived).
+    record_and_flood();
+    closed_[from] = 0;
+    for (const ProcessId p : peers_) {
+      if (p != from) recording_[p] = 0;
+    }
+    return;
+  }
+  const auto it = recording_.find(from);
+  PSN_CHECK(it != recording_.end(),
+            "duplicate marker or marker from unknown channel");
+  closed_[from] = it->second;
+  recording_.erase(it);
+}
+
+bool SnapshotParticipant::on_app_message(ProcessId from, std::int64_t amount) {
+  const auto it = recording_.find(from);
+  if (it == recording_.end()) return false;
+  it->second += amount;
+  return true;
+}
+
+bool SnapshotParticipant::complete() const {
+  return recorded_state_.has_value() && recording_.empty() &&
+         closed_.size() == peers_.size();
+}
+
+std::int64_t SnapshotParticipant::recorded_state() const {
+  PSN_CHECK(recorded_state_.has_value(), "no state recorded yet");
+  return *recorded_state_;
+}
+
+std::int64_t SnapshotParticipant::channel_state(ProcessId from) const {
+  const auto closed = closed_.find(from);
+  if (closed != closed_.end()) return closed->second;
+  const auto open = recording_.find(from);
+  PSN_CHECK(open != recording_.end(), "no such incoming channel");
+  return open->second;
+}
+
+std::int64_t SnapshotParticipant::total_recorded() const {
+  PSN_CHECK(complete(), "snapshot not complete");
+  std::int64_t total = *recorded_state_;
+  for (const auto& [_, amount] : closed_) total += amount;
+  return total;
+}
+
+}  // namespace psn::core

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace psn::core {
+
+/// Chandy–Lamport consistent global snapshot — one of the classic vector-
+/// time-adjacent middleware applications the paper's Appendix A enumerates
+/// ("taking efficient consistent snapshots of a system"). Requires FIFO
+/// channels (Transport::set_fifo_channels).
+///
+/// Protocol, per participant:
+///  - initiate(): record local state, send a marker on every outgoing
+///    channel, start recording every incoming channel;
+///  - first marker received (from c): record local state, mark channel c
+///    empty, send markers, start recording all other incoming channels;
+///  - subsequent marker from channel c: stop recording c;
+///  - application message from a channel being recorded: append to that
+///    channel's recorded state.
+///
+/// The participant is transport-agnostic: the host wires `send_marker` to
+/// the network and forwards incoming markers/app messages. Application
+/// state is a single int64 (a counter/balance); the canonical invariant
+/// test is conservation of the global sum in a token/money-transfer app.
+class SnapshotParticipant {
+ public:
+  using SendMarkerFn = std::function<void(ProcessId to)>;
+
+  /// `peers`: the processes this one has channels with (both directions).
+  SnapshotParticipant(ProcessId self, std::vector<ProcessId> peers,
+                      SendMarkerFn send_marker);
+
+  /// The application's local state, read at marker time via this hook.
+  void set_state_provider(std::function<std::int64_t()> provider);
+
+  /// Starts a snapshot from this process.
+  void initiate();
+  /// A marker arrived on the channel from `from`.
+  void on_marker(ProcessId from);
+  /// An application message (carrying `amount`) arrived from `from`; call
+  /// BEFORE applying it to local state. Returns true if the message was
+  /// recorded as channel state.
+  bool on_app_message(ProcessId from, std::int64_t amount);
+
+  bool recording_started() const { return recorded_state_.has_value(); }
+  /// True once every incoming channel's recording has been closed.
+  bool complete() const;
+
+  std::int64_t recorded_state() const;
+  /// Sum of amounts recorded in transit on the channel from `from`.
+  std::int64_t channel_state(ProcessId from) const;
+  /// Recorded local state plus all recorded channel amounts.
+  std::int64_t total_recorded() const;
+
+ private:
+  void record_and_flood();
+
+  ProcessId self_;
+  std::vector<ProcessId> peers_;
+  SendMarkerFn send_marker_;
+  std::function<std::int64_t()> state_provider_;
+
+  std::optional<std::int64_t> recorded_state_;
+  /// Channels currently being recorded → accumulated in-transit amount.
+  std::map<ProcessId, std::int64_t> recording_;
+  /// Channels whose recording has closed (marker seen).
+  std::map<ProcessId, std::int64_t> closed_;
+};
+
+}  // namespace psn::core

@@ -1,0 +1,164 @@
+#include "core/system.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::core {
+
+namespace {
+
+std::unique_ptr<net::DelayModel> make_delay(const SystemConfig& cfg) {
+  switch (cfg.delay_kind) {
+    case DelayKind::kSynchronous:
+      return std::make_unique<net::SynchronousDelay>();
+    case DelayKind::kFixed:
+      return std::make_unique<net::FixedDelay>(cfg.delta);
+    case DelayKind::kUniformBounded:
+      return net::UniformBoundedDelay::with_bound(cfg.delta);
+    case DelayKind::kExponential:
+      return std::make_unique<net::ExponentialDelay>(cfg.delta);
+  }
+  PSN_CHECK(false, "unknown delay kind");
+  return nullptr;
+}
+
+/// Drops when any constituent model drops (Bernoulli noise + scheduled
+/// bursts compose this way).
+class CombinedLoss final : public net::LossModel {
+ public:
+  explicit CombinedLoss(std::vector<std::unique_ptr<net::LossModel>> models)
+      : models_(std::move(models)) {}
+  bool drop(SimTime now, Rng& rng) override {
+    bool dropped = false;
+    // Evaluate all models so their internal state/draw streams advance
+    // deterministically regardless of short-circuiting.
+    for (const auto& m : models_) {
+      if (m->drop(now, rng)) dropped = true;
+    }
+    return dropped;
+  }
+  std::string name() const override { return "combined"; }
+
+ private:
+  std::vector<std::unique_ptr<net::LossModel>> models_;
+};
+
+std::unique_ptr<net::LossModel> make_loss(const SystemConfig& cfg) {
+  std::vector<std::unique_ptr<net::LossModel>> parts;
+  if (cfg.loss_probability > 0.0) {
+    parts.push_back(std::make_unique<net::BernoulliLoss>(cfg.loss_probability));
+  }
+  if (!cfg.loss_windows.empty()) {
+    parts.push_back(std::make_unique<net::ScheduledBurstLoss>(cfg.loss_windows));
+  }
+  if (parts.empty()) return std::make_unique<net::NoLoss>();
+  if (parts.size() == 1) return std::move(parts[0]);
+  return std::make_unique<CombinedLoss>(std::move(parts));
+}
+
+net::Overlay make_overlay(TopologyKind kind, std::size_t n) {
+  switch (kind) {
+    case TopologyKind::kComplete: return net::Overlay::complete(n);
+    case TopologyKind::kStar: return net::Overlay::star(n);
+    case TopologyKind::kRing: return net::Overlay::ring(n);
+    case TopologyKind::kLine: return net::Overlay::line(n);
+  }
+  PSN_CHECK(false, "unknown topology kind");
+  return net::Overlay(1);
+}
+
+}  // namespace
+
+PervasiveSystem::PervasiveSystem(SystemConfig config)
+    : config_(std::move(config)) {
+  PSN_CHECK(config_.num_sensors >= 1, "need at least one sensor");
+  const std::size_t n = config_.num_sensors + 1;
+
+  sim_ = std::make_unique<sim::Simulation>(config_.sim);
+  world_ = std::make_unique<world::WorldModel>(*sim_);
+  transport_ = std::make_unique<net::Transport>(
+      *sim_, make_overlay(config_.topology, n), make_delay(config_),
+      make_loss(config_), sim_->rng_for("transport"));
+
+  root_ = std::make_unique<RootMonitor>(0, n, *sim_, config_.clock_config,
+                                        sim_->rng_for("clock", 0));
+  transport_->register_handler(
+      0, [this](const net::Message& msg) { root_->on_message(msg); });
+
+  for (ProcessId pid = 1; pid < n; ++pid) {
+    sensors_.push_back(std::make_unique<SensorNode>(
+        pid, n, *sim_, *transport_, config_.clock_config,
+        sim_->rng_for("clock", pid)));
+    SensorNode* node = sensors_.back().get();
+    node->bind_world(world_.get());
+    transport_->register_handler(
+        pid, [node](const net::Message& msg) { node->on_message(msg); });
+  }
+
+  if (config_.duty_cycle.has_value()) {
+    PSN_CHECK(config_.duty_cycle->valid(), "invalid duty cycle");
+    Rng phase_rng = sim_->rng_for("duty_phase");
+    for (ProcessId pid = 1; pid < n; ++pid) {
+      net::DutyCycle dc = *config_.duty_cycle;
+      if (!config_.duty_phases_aligned) {
+        dc.phase = phase_rng.uniform_duration(
+            Duration::zero(), dc.period - Duration::nanos(1));
+      }
+      transport_->set_wake_schedule(pid, dc);
+    }
+  }
+
+  // Route assigned world events to their sensors.
+  world_->add_sink([this](const world::WorldEvent& ev) {
+    const ProcessId pid = sensing_.sensor_of(ev.object, ev.attribute);
+    if (pid == kNoProcess) return;
+    sensor(pid).sense(ev);
+  });
+
+  // The root's ObservationLog advertises the end-to-end Δ bound.
+  root_->log().delta_bound = delta_bound();
+}
+
+void PervasiveSystem::assign(world::ObjectId object,
+                             const std::string& attribute, ProcessId sensor) {
+  PSN_CHECK(sensor >= 1 && sensor <= config_.num_sensors,
+            "sensing must be assigned to a sensor process (1..n)");
+  sensing_.assign(object, attribute, sensor);
+}
+
+SensorNode& PervasiveSystem::sensor(ProcessId pid) {
+  PSN_CHECK(pid >= 1 && pid <= sensors_.size(), "not a sensor pid");
+  return *sensors_[pid - 1];
+}
+
+const SensorNode& PervasiveSystem::sensor(ProcessId pid) const {
+  PSN_CHECK(pid >= 1 && pid <= sensors_.size(), "not a sensor pid");
+  return *sensors_[pid - 1];
+}
+
+Duration PervasiveSystem::delta_bound() const {
+  const Duration hop = transport_->delay_model().bound();
+  if (hop == Duration::max()) return Duration::max();
+  std::size_t diameter = 1;
+  const auto& ov = transport_->overlay();
+  for (ProcessId a = 0; a < ov.size(); ++a) {
+    for (ProcessId b = a + 1; b < ov.size(); ++b) {
+      const std::size_t d = ov.hop_distance(a, b);
+      if (d != SIZE_MAX) diameter = std::max(diameter, d);
+    }
+  }
+  return hop * static_cast<std::int64_t>(diameter);
+}
+
+std::size_t PervasiveSystem::run() { return sim_->run(); }
+
+std::vector<const std::vector<ProcessEvent>*>
+PervasiveSystem::sensor_executions() const {
+  std::vector<const std::vector<ProcessEvent>*> out;
+  out.reserve(sensors_.size());
+  for (const auto& s : sensors_) out.push_back(&s->events());
+  return out;
+}
+
+}  // namespace psn::core

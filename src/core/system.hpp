@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/sensing.hpp"
+#include "net/transport.hpp"
+#include "sim/simulation.hpp"
+#include "world/world_model.hpp"
+
+namespace psn::core {
+
+/// How one-hop message delay is distributed (paper §3.2.2).
+enum class DelayKind {
+  kSynchronous,     ///< Δ = 0
+  kFixed,           ///< exactly `delta`
+  kUniformBounded,  ///< uniform in [delta/10, delta] — Δ-bounded
+  kExponential,     ///< mean `delta`, unbounded tail
+};
+
+enum class TopologyKind { kComplete, kStar, kRing, kLine };
+
+/// Everything needed to stand up one ⟨P, L, O, C⟩ system instance.
+struct SystemConfig {
+  std::size_t num_sensors = 2;  ///< processes 1..num_sensors; P_0 is the root
+  sim::SimConfig sim;
+  clocks::ClockBundleConfig clock_config;
+
+  DelayKind delay_kind = DelayKind::kUniformBounded;
+  /// The Δ of the delay model (bound, mean, or fixed value by kind).
+  Duration delta = Duration::millis(100);
+
+  TopologyKind topology = TopologyKind::kComplete;
+
+  /// Independent per-transmission loss probability (0 = lossless).
+  double loss_probability = 0.0;
+  /// Windows of total loss (E8 fault injection); combined with the above.
+  std::vector<net::ScheduledBurstLoss::Window> loss_windows;
+
+  /// Optional receiver duty cycling for the sensor nodes (paper §5: MAC-
+  /// layer duty cycles in habitat monitoring). The root's radio is always
+  /// on (it is the mains-powered back-end).
+  std::optional<net::DutyCycle> duty_cycle;
+  /// Synchronized duty cycles (all sensors share a phase) versus the
+  /// unsynchronized baseline (per-node random phases).
+  bool duty_phases_aligned = true;
+};
+
+/// The assembled system: world plane ⟨O, C⟩, network plane ⟨P, L⟩ with the
+/// root monitor P_0 and sensor processes P_1..P_n, wired so that every
+/// assigned world event is sensed, stamped under every clock model, and
+/// strobed system-wide. After run(), the root's ObservationLog and the world
+/// timeline feed the detectors and the oracle respectively.
+class PervasiveSystem {
+ public:
+  explicit PervasiveSystem(SystemConfig config);
+
+  sim::Simulation& sim() { return *sim_; }
+  world::WorldModel& world() { return *world_; }
+  net::Transport& transport() { return *transport_; }
+  SensingMap& sensing() { return sensing_; }
+  const SensingMap& sensing() const { return sensing_; }
+
+  /// Shorthand: route (object, attribute) world events to `sensor`.
+  void assign(world::ObjectId object, const std::string& attribute,
+              ProcessId sensor);
+
+  std::size_t num_processes() const { return sensors_.size() + 1; }
+  SensorNode& sensor(ProcessId pid);
+  const SensorNode& sensor(ProcessId pid) const;
+  RootMonitor& root() { return *root_; }
+
+  /// End-to-end delay bound Δ seen by any message (hop bound × diameter),
+  /// or Duration::max() if the delay model is unbounded.
+  Duration delta_bound() const;
+
+  /// Runs the simulation to its horizon; returns events executed.
+  std::size_t run();
+
+  const ObservationLog& log() const { return root_->log(); }
+  const world::WorldTimeline& timeline() const { return world_->timeline(); }
+  const net::MessageStats& message_stats() const {
+    return transport_->stats();
+  }
+  /// Recorded local executions of the sensors (index 0 = P_1).
+  std::vector<const std::vector<ProcessEvent>*> sensor_executions() const;
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<world::WorldModel> world_;
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<RootMonitor> root_;
+  std::vector<std::unique_ptr<SensorNode>> sensors_;
+  SensingMap sensing_;
+};
+
+}  // namespace psn::core

@@ -1,0 +1,85 @@
+#include "core/termination.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::core {
+
+SafraParticipant::SafraParticipant(ProcessId self, std::size_t n,
+                                   ForwardFn forward, AnnounceFn announce)
+    : self_(self),
+      n_(n),
+      forward_(std::move(forward)),
+      announce_(std::move(announce)) {
+  PSN_CHECK(self < n, "participant pid out of range");
+  PSN_CHECK(static_cast<bool>(forward_), "null token-forward hook");
+}
+
+void SafraParticipant::set_active(bool active) {
+  active_ = active;
+  if (!active_) try_forward();
+}
+
+void SafraParticipant::on_app_receive() {
+  balance_--;
+  // Receiving work may reactivate this process after the token has passed
+  // it — blacken so the current probe round cannot succeed.
+  black_ = true;
+}
+
+void SafraParticipant::start_round() {
+  // Fresh white token with zero count; the initiator whitens itself. The
+  // token visits n−1, n−2, …, 1, each adding its balance, then returns.
+  black_ = false;
+  if (n_ == 1) {
+    // Degenerate single-process system: termination is local passivity.
+    if (!active_ && balance_ == 0) {
+      terminated_ = true;
+      if (announce_) announce_();
+    }
+    return;
+  }
+  forward_(static_cast<ProcessId>(n_ - 1), Token{});
+}
+
+void SafraParticipant::initiate_probe() {
+  PSN_CHECK(self_ == 0, "only process 0 initiates probes");
+  if (terminated_) return;
+  start_round();
+}
+
+void SafraParticipant::on_token(const Token& token) {
+  if (terminated_) return;
+  held_ = token;
+  try_forward();
+}
+
+void SafraParticipant::try_forward() {
+  if (!held_.has_value() || active_ || terminated_) return;
+
+  if (self_ == 0) {
+    // A token returned from circulation: apply Safra's termination test.
+    const Token t = *held_;
+    held_.reset();
+    const bool success = !t.black && !black_ && (t.count + balance_) == 0;
+    if (success) {
+      terminated_ = true;
+      if (announce_) announce_();
+      return;
+    }
+    start_round();
+    return;
+  }
+
+  // Intermediate process: accumulate balance, color the token, whiten self,
+  // pass on toward the initiator (ring n−1 → n−2 → … → 0).
+  Token t = *held_;
+  held_.reset();
+  t.count += balance_;
+  if (black_) t.black = true;
+  black_ = false;
+  forward_(static_cast<ProcessId>(self_ - 1), t);
+}
+
+}  // namespace psn::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace psn::core {
+
+/// Dijkstra–Safra token-based termination detection — another Appendix-A
+/// middleware application ("termination detection"). The computation is
+/// terminated when every process is passive and no application message is
+/// in flight; the difficulty is that no process can see that globally.
+///
+/// Safra's algorithm: processes are colored; each keeps a message-count
+/// balance (sent − received). A token circulates the ring 0 → n−1 → … → 0
+/// accumulating balances; receiving an application message blackens the
+/// receiver (it may have been reactivated after the token passed).
+/// The initiator announces termination when a token returns white with a
+/// zero accumulated balance while the initiator itself is passive and white.
+///
+/// Transport-agnostic: the host wires `forward_token` to the network and
+/// feeds events in. Hooks: call on_app_send()/on_app_receive() around the
+/// application's messaging, set_active() around its work.
+class SafraParticipant {
+ public:
+  struct Token {
+    std::int64_t count = 0;
+    bool black = false;
+  };
+
+  /// `forward_token(to, token)`: deliver the token to the next process.
+  using ForwardFn = std::function<void(ProcessId to, const Token& token)>;
+  /// Called on the initiator when termination is established.
+  using AnnounceFn = std::function<void()>;
+
+  SafraParticipant(ProcessId self, std::size_t n, ForwardFn forward,
+                   AnnounceFn announce = {});
+
+  // --- application hooks ---
+  void set_active(bool active);
+  bool active() const { return active_; }
+  void on_app_send() { balance_++; }
+  void on_app_receive();
+
+  // --- token protocol ---
+  /// Initiator (process 0) starts a probe round. No-op if a token this
+  /// process owns is already waiting to move.
+  void initiate_probe();
+  /// The token arrived from the predecessor.
+  void on_token(const Token& token);
+
+  bool terminated() const { return terminated_; }
+
+ private:
+  void try_forward();
+  void start_round();
+
+  ProcessId self_;
+  std::size_t n_;
+  ForwardFn forward_;
+  AnnounceFn announce_;
+
+  bool active_ = false;
+  bool black_ = false;          ///< process color
+  std::int64_t balance_ = 0;    ///< sent − received
+  std::optional<Token> held_;   ///< token waiting for this process to go passive
+  bool terminated_ = false;
+};
+
+}  // namespace psn::core

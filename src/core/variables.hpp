@@ -1,0 +1,53 @@
+#pragma once
+
+#include <compare>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace psn::core {
+
+/// A sensed variable: an object attribute as tracked by one sensor/actuator
+/// process (paper §2.2: "each sensor/actuator process p_i has local variables
+/// to track object attributes"). The paper's subscript convention —
+/// "the subscript on a variable denotes the location where the variable is
+/// sensed" — is exactly this pair.
+struct VarRef {
+  ProcessId pid = kNoProcess;
+  std::string name;
+
+  auto operator<=>(const VarRef&) const = default;
+  std::string to_string() const {
+    return name + "[" + std::to_string(pid) + "]";
+  }
+};
+
+/// A (possibly partial) assembled global state: numeric values of sensed
+/// variables across the system, as known to an observer at some point. Both
+/// the ground-truth oracle and every detector evaluate predicates against
+/// one of these.
+class GlobalState {
+ public:
+  void set(const VarRef& var, double value) { values_[var] = value; }
+  std::optional<double> get(const VarRef& var) const {
+    const auto it = values_.find(var);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool has(const VarRef& var) const { return values_.contains(var); }
+
+  /// All variables with the given name, across processes — the domain of the
+  /// paper's system-wide relational predicates such as Σ(x_i − y_i).
+  std::vector<VarRef> vars_named(const std::string& name) const;
+
+  std::size_t size() const { return values_.size(); }
+  const std::map<VarRef, double>& values() const { return values_; }
+
+ private:
+  std::map<VarRef, double> values_;
+};
+
+}  // namespace psn::core

@@ -1,0 +1,70 @@
+#include "net/causal_delivery.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::net {
+
+CausalBroadcaster::CausalBroadcaster(ProcessId self, std::size_t n,
+                                     TransmitFn transmit, DeliverFn deliver)
+    : self_(self),
+      transmit_(std::move(transmit)),
+      deliver_(std::move(deliver)),
+      delivered_(n) {
+  PSN_CHECK(self < n, "broadcaster pid out of range");
+  PSN_CHECK(static_cast<bool>(transmit_) && static_cast<bool>(deliver_),
+            "causal broadcaster needs transmit and deliver hooks");
+}
+
+void CausalBroadcaster::broadcast(const std::string& payload) {
+  // Own broadcasts are delivered locally right away (they causally follow
+  // everything this process has delivered), then stamped and transmitted.
+  CausalMessage msg;
+  msg.sender = self_;
+  msg.payload = payload;
+  delivered_[self_]++;
+  msg.stamp = delivered_;
+  transmit_(msg);
+  deliver_(msg);
+}
+
+bool CausalBroadcaster::deliverable(const CausalMessage& msg) const {
+  PSN_CHECK(msg.stamp.size() == delivered_.size(),
+            "causal stamp dimension mismatch");
+  for (std::size_t k = 0; k < delivered_.size(); ++k) {
+    if (k == msg.sender) {
+      if (msg.stamp[k] != delivered_[k] + 1) return false;  // gap or dup
+    } else {
+      if (msg.stamp[k] > delivered_[k]) return false;  // missing dependency
+    }
+  }
+  return true;
+}
+
+void CausalBroadcaster::on_receive(const CausalMessage& msg) {
+  PSN_CHECK(msg.sender < delivered_.size(), "unknown sender");
+  if (msg.sender == self_) return;  // self-copy from a broadcast fan-out
+  // Duplicate / already-delivered messages are dropped.
+  if (msg.stamp[msg.sender] <= delivered_[msg.sender]) return;
+  pending_.push_back(msg);
+  drain();
+}
+
+void CausalBroadcaster::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (!deliverable(pending_[i])) continue;
+      CausalMessage msg = std::move(pending_[i]);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      delivered_[msg.sender]++;
+      deliver_(msg);
+      progressed = true;
+      break;  // restart: the delivery may unblock earlier entries
+    }
+  }
+}
+
+}  // namespace psn::net

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "clocks/timestamp.hpp"
+#include "common/types.hpp"
+
+namespace psn::net {
+
+/// Causal-order broadcast delivery (Birman–Schiper–Stephenson), one of the
+/// classic middleware applications of vector time the paper's Appendix A
+/// enumerates ("causal memory, maintaining consistency of replicated files,
+/// …"). This is a pure protocol layer: it does not own a transport; the host
+/// wires `on_transmit` to the network and calls `on_receive` for every
+/// arriving causal message. Delivery order is guaranteed causal per
+/// receiver even if the network reorders arbitrarily.
+///
+/// The protocol stamps each broadcast with a vector of *broadcast counts*:
+/// V[j] = number of broadcasts by j that causally precede this one. A
+/// message m from j is deliverable at process i once
+///   delivered_i[j] == V_m[j] − 1   and   delivered_i[k] ≥ V_m[k] ∀ k ≠ j.
+class CausalBroadcaster {
+ public:
+  struct CausalMessage {
+    ProcessId sender = kNoProcess;
+    clocks::VectorStamp stamp;  ///< broadcast-count vector, post-increment
+    std::string payload;
+  };
+
+  /// `transmit` is invoked once per broadcast with the stamped message; the
+  /// host fans it out. `deliver` is invoked in causal order.
+  using TransmitFn = std::function<void(const CausalMessage&)>;
+  using DeliverFn = std::function<void(const CausalMessage&)>;
+
+  CausalBroadcaster(ProcessId self, std::size_t n, TransmitFn transmit,
+                    DeliverFn deliver);
+
+  /// Broadcasts a payload (stamps it and hands it to the transmit hook).
+  void broadcast(const std::string& payload);
+
+  /// Feed a message that arrived from the network (any order). Triggers
+  /// zero or more deliveries, including of previously buffered messages.
+  void on_receive(const CausalMessage& msg);
+
+  std::size_t buffered() const { return pending_.size(); }
+  std::uint64_t delivered_count(ProcessId from) const {
+    return delivered_[from];
+  }
+
+ private:
+  bool deliverable(const CausalMessage& msg) const;
+  void drain();
+
+  ProcessId self_;
+  TransmitFn transmit_;
+  DeliverFn deliver_;
+  /// delivered_[j]: how many of j's broadcasts this process has delivered.
+  clocks::VectorStamp delivered_;
+  std::vector<CausalMessage> pending_;
+};
+
+}  // namespace psn::net

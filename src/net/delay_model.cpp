@@ -1,0 +1,47 @@
+#include "net/delay_model.hpp"
+
+#include "common/error.hpp"
+
+namespace psn::net {
+
+FixedDelay::FixedDelay(Duration d) : d_(d) {
+  PSN_CHECK(d_ >= Duration::zero(), "fixed delay must be non-negative");
+}
+
+std::string FixedDelay::name() const { return "fixed(" + d_.to_string() + ")"; }
+
+UniformBoundedDelay::UniformBoundedDelay(Duration min, Duration max)
+    : min_(min), max_(max) {
+  PSN_CHECK(min_ >= Duration::zero(), "delay must be non-negative");
+  PSN_CHECK(min_ <= max_, "delay bounds inverted");
+}
+
+std::unique_ptr<UniformBoundedDelay> UniformBoundedDelay::with_bound(
+    Duration delta) {
+  return std::make_unique<UniformBoundedDelay>(
+      Duration(delta.count_nanos() / 10), delta);
+}
+
+Duration UniformBoundedDelay::sample(Rng& rng) {
+  return rng.uniform_duration(min_, max_);
+}
+
+std::string UniformBoundedDelay::name() const {
+  return "uniform[" + min_.to_string() + "," + max_.to_string() + "]";
+}
+
+ExponentialDelay::ExponentialDelay(Duration mean, Duration floor)
+    : mean_(mean), floor_(floor) {
+  PSN_CHECK(mean_ > Duration::zero(), "mean delay must be positive");
+  PSN_CHECK(floor_ >= Duration::zero(), "delay floor must be non-negative");
+}
+
+Duration ExponentialDelay::sample(Rng& rng) {
+  return floor_ + Duration::from_seconds(rng.exponential(mean_.to_seconds()));
+}
+
+std::string ExponentialDelay::name() const {
+  return "exponential(mean=" + mean_.to_string() + ")";
+}
+
+}  // namespace psn::net

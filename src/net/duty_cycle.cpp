@@ -1,0 +1,38 @@
+#include "net/duty_cycle.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psn::net {
+
+bool DutyCycle::is_awake(SimTime t) const {
+  PSN_CHECK(valid(), "invalid duty cycle");
+  const std::int64_t p = period.count_nanos();
+  std::int64_t offset = (t.count_nanos() - phase.count_nanos()) % p;
+  if (offset < 0) offset += p;
+  return offset < window.count_nanos();
+}
+
+SimTime DutyCycle::next_wake(SimTime t) const {
+  PSN_CHECK(valid(), "invalid duty cycle");
+  const std::int64_t p = period.count_nanos();
+  std::int64_t offset = (t.count_nanos() - phase.count_nanos()) % p;
+  if (offset < 0) offset += p;
+  if (offset < window.count_nanos()) return t;  // already awake
+  return t + Duration(p - offset);              // next window start
+}
+
+void align_phases(std::vector<DutyCycle>& schedules) {
+  if (schedules.empty()) return;
+  Duration earliest = schedules.front().phase;
+  for (const auto& s : schedules) earliest = std::min(earliest, s.phase);
+  for (auto& s : schedules) s.phase = earliest;
+}
+
+Duration worst_case_wait(const DutyCycle& schedule) {
+  PSN_CHECK(schedule.valid(), "invalid duty cycle");
+  return schedule.period - schedule.window;
+}
+
+}  // namespace psn::net

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "clocks/clock_bundle.hpp"
+#include "clocks/timestamp.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "world/event.hpp"
+
+namespace psn::net {
+
+/// Message classes in the network plane. The paper distinguishes *semantic*
+/// computation messages (whose send/receive events drive the causal clocks)
+/// from *control* messages — strobes and sync traffic — which must not
+/// (paper §4.2.3 point 3).
+enum class MessageKind : std::uint8_t {
+  kComputation,  ///< application send/receive (s/r events)
+  kStrobe,       ///< strobe-clock control broadcast (SSC1/SVC1 output)
+  kSync,         ///< clock-synchronization protocol traffic
+  kActuation,    ///< command from detector to an actuator node
+};
+
+const char* to_string(MessageKind k);
+
+/// Payload of a strobe broadcast. One broadcast serves every detector under
+/// comparison: it carries the sensed update plus the stamps of *all* time
+/// models, so a single simulated execution can be scored per model. Per-model
+/// wire-size accounting (experiment E7) therefore uses the helpers below, not
+/// the in-memory size.
+struct SenseReportPayload {
+  // --- the sensed update ---
+  world::ObjectId object = world::kNoObject;
+  std::string attribute;
+  world::AttributeValue value;
+
+  // --- timestamps a real node could attach ---
+  clocks::ScalarStamp strobe_scalar;
+  clocks::VectorStamp strobe_vector;
+  SimTime synced_timestamp;  ///< ε-synchronized clock reading at the sense
+  SimTime local_timestamp;   ///< free-running local clock reading
+
+  // --- ground-truth metadata, for scoring only (never read by detectors) ---
+  SimTime true_sense_time;
+  world::WorldEventIndex world_event = world::kNoWorldEvent;
+
+  /// Bytes on the wire if the deployment ran only the scalar-strobe protocol.
+  std::size_t wire_bytes_scalar_mode() const;
+  /// Bytes if it ran only the vector-strobe protocol.
+  std::size_t wire_bytes_vector_mode() const;
+  /// Bytes if it ran only physical-clock timestamping.
+  std::size_t wire_bytes_physical_mode() const;
+};
+
+/// Payload of an application (semantic) message.
+struct ComputationPayload {
+  clocks::PiggybackStamps stamps;
+  std::string tag;  ///< application-defined content marker
+  std::size_t body_bytes = 16;
+
+  std::size_t wire_bytes() const;
+};
+
+/// Payload of an actuation command (detector → actuator; paper §2.2: "if
+/// the predicate is satisfied, a message send event is also triggered to
+/// actuate one or multiple sensor/actuator nodes to output to the
+/// environment objects"). The receiving node applies `value` to the named
+/// world attribute — an a-event.
+struct ActuationPayload {
+  std::string command;
+  SimTime issued_at;
+  world::ObjectId object = world::kNoObject;
+  std::string attribute;
+  world::AttributeValue value;
+};
+
+struct Message {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;  ///< kNoProcess for broadcasts (fan-out copies set it)
+  MessageKind kind = MessageKind::kComputation;
+  SimTime sent_at;       ///< true send time (set by transport)
+  SimTime delivered_at;  ///< true delivery time (set by transport)
+  std::variant<SenseReportPayload, ComputationPayload, ActuationPayload>
+      payload;
+
+  const SenseReportPayload& sense_report() const {
+    return std::get<SenseReportPayload>(payload);
+  }
+  const ComputationPayload& computation() const {
+    return std::get<ComputationPayload>(payload);
+  }
+  const ActuationPayload& actuation() const {
+    return std::get<ActuationPayload>(payload);
+  }
+};
+
+/// Nominal wire header: src, dst, kind, length.
+inline constexpr std::size_t kWireHeaderBytes = 12;
+
+}  // namespace psn::net

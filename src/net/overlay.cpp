@@ -1,0 +1,101 @@
+#include "net/overlay.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace psn::net {
+
+Overlay::Overlay(std::size_t n) : n_(n), adj_(n) {
+  PSN_CHECK(n > 0, "overlay needs at least one process");
+}
+
+Overlay Overlay::complete(std::size_t n) {
+  Overlay o(n);
+  for (ProcessId a = 0; a < n; ++a) {
+    for (ProcessId b = a + 1; b < n; ++b) o.add_edge(a, b);
+  }
+  return o;
+}
+
+Overlay Overlay::star(std::size_t n, ProcessId hub) {
+  Overlay o(n);
+  PSN_CHECK(hub < n, "hub out of range");
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p != hub) o.add_edge(hub, p);
+  }
+  return o;
+}
+
+Overlay Overlay::ring(std::size_t n) {
+  Overlay o(n);
+  if (n == 1) return o;
+  for (ProcessId p = 0; p < n; ++p) {
+    o.add_edge(p, static_cast<ProcessId>((p + 1) % n));
+  }
+  return o;
+}
+
+Overlay Overlay::line(std::size_t n) {
+  Overlay o(n);
+  for (ProcessId p = 0; p + 1 < n; ++p) {
+    o.add_edge(p, static_cast<ProcessId>(p + 1));
+  }
+  return o;
+}
+
+void Overlay::add_edge(ProcessId a, ProcessId b) {
+  PSN_CHECK(a < n_ && b < n_, "edge endpoint out of range");
+  PSN_CHECK(a != b, "self-loops not allowed");
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+void Overlay::remove_edge(ProcessId a, ProcessId b) {
+  PSN_CHECK(a < n_ && b < n_, "edge endpoint out of range");
+  std::erase(adj_[a], b);
+  std::erase(adj_[b], a);
+}
+
+bool Overlay::has_edge(ProcessId a, ProcessId b) const {
+  PSN_CHECK(a < n_ && b < n_, "edge endpoint out of range");
+  return std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end();
+}
+
+const std::vector<ProcessId>& Overlay::neighbors(ProcessId p) const {
+  PSN_CHECK(p < n_, "process out of range");
+  return adj_[p];
+}
+
+bool Overlay::is_connected() const {
+  if (n_ == 1) return true;
+  std::size_t reached = 0;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (hop_distance(0, p) != SIZE_MAX) reached++;
+  }
+  return reached == n_;
+}
+
+std::size_t Overlay::hop_distance(ProcessId from, ProcessId to) const {
+  PSN_CHECK(from < n_ && to < n_, "process out of range");
+  if (from == to) return 0;
+  std::vector<std::size_t> dist(n_, SIZE_MAX);
+  std::queue<ProcessId> q;
+  dist[from] = 0;
+  q.push(from);
+  while (!q.empty()) {
+    const ProcessId cur = q.front();
+    q.pop();
+    for (const ProcessId nb : adj_[cur]) {
+      if (dist[nb] != SIZE_MAX) continue;
+      dist[nb] = dist[cur] + 1;
+      if (nb == to) return dist[nb];
+      q.push(nb);
+    }
+  }
+  return dist[to];
+}
+
+}  // namespace psn::net

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace psn::net {
+
+/// The logical network overlay L over which processes in P communicate
+/// (paper §2.1). Undirected; multi-hop delivery accumulates one delay sample
+/// per hop along the shortest path. L "is a dynamically changing graph" in
+/// the paper; edges may be added/removed mid-run.
+class Overlay {
+ public:
+  explicit Overlay(std::size_t n);
+
+  static Overlay complete(std::size_t n);
+  /// Star centered on `hub` (the common root-P0 configuration).
+  static Overlay star(std::size_t n, ProcessId hub = 0);
+  static Overlay ring(std::size_t n);
+  /// Path 0-1-2-…-(n-1); the worst diameter, for stress tests.
+  static Overlay line(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  void add_edge(ProcessId a, ProcessId b);
+  void remove_edge(ProcessId a, ProcessId b);
+  bool has_edge(ProcessId a, ProcessId b) const;
+  const std::vector<ProcessId>& neighbors(ProcessId p) const;
+
+  bool is_connected() const;
+  /// Hop count of the shortest path, or SIZE_MAX if unreachable.
+  std::size_t hop_distance(ProcessId from, ProcessId to) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<ProcessId>> adj_;
+};
+
+}  // namespace psn::net

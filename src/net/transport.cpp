@@ -1,0 +1,162 @@
+#include "net/transport.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::net {
+
+const char* to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kComputation: return "computation";
+    case MessageKind::kStrobe: return "strobe";
+    case MessageKind::kSync: return "sync";
+    case MessageKind::kActuation: return "actuation";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::size_t kObjectIdBytes = 4;
+constexpr std::size_t kAttrIdBytes = 4;
+constexpr std::size_t kValueBytes = 8;
+constexpr std::size_t kTimestampBytes = 8;
+constexpr std::size_t kPidBytes = 4;
+
+std::size_t sense_report_base() {
+  return kWireHeaderBytes + kObjectIdBytes + kAttrIdBytes + kValueBytes;
+}
+}  // namespace
+
+std::size_t SenseReportPayload::wire_bytes_scalar_mode() const {
+  return sense_report_base() + kTimestampBytes + kPidBytes;  // scalar + pid
+}
+
+std::size_t SenseReportPayload::wire_bytes_vector_mode() const {
+  return sense_report_base() + strobe_vector.wire_size() + kPidBytes;
+}
+
+std::size_t SenseReportPayload::wire_bytes_physical_mode() const {
+  return sense_report_base() + kTimestampBytes;
+}
+
+std::size_t ComputationPayload::wire_bytes() const {
+  return kWireHeaderBytes + clocks::ScalarStamp::wire_size() + kPidBytes +
+         stamps.causal_vector.wire_size() + body_bytes;
+}
+
+std::size_t wire_bytes(const Message& msg) {
+  if (std::holds_alternative<SenseReportPayload>(msg.payload)) {
+    return msg.sense_report().wire_bytes_vector_mode();
+  }
+  if (std::holds_alternative<ComputationPayload>(msg.payload)) {
+    return msg.computation().wire_bytes();
+  }
+  return kWireHeaderBytes + 16;  // actuation: command id + issue time
+}
+
+std::size_t MessageStats::total_sent() const {
+  std::size_t s = 0;
+  for (const auto& k : per_kind_) s += k.sent;
+  return s;
+}
+
+std::size_t MessageStats::total_bytes() const {
+  std::size_t s = 0;
+  for (const auto& k : per_kind_) s += k.bytes_sent;
+  return s;
+}
+
+Transport::Transport(sim::Simulation& sim, Overlay overlay,
+                     std::unique_ptr<DelayModel> delay,
+                     std::unique_ptr<LossModel> loss, Rng rng)
+    : sim_(sim),
+      overlay_(std::move(overlay)),
+      delay_(std::move(delay)),
+      loss_(std::move(loss)),
+      rng_(rng),
+      handlers_(overlay_.size()),
+      wake_(overlay_.size()) {
+  PSN_CHECK(delay_ != nullptr, "transport needs a delay model");
+  PSN_CHECK(loss_ != nullptr, "transport needs a loss model");
+}
+
+void Transport::set_wake_schedule(ProcessId pid, const DutyCycle& schedule) {
+  PSN_CHECK(pid < wake_.size(), "pid out of range");
+  PSN_CHECK(schedule.valid(), "invalid duty cycle schedule");
+  wake_[pid] = schedule;
+}
+
+void Transport::clear_wake_schedule(ProcessId pid) {
+  PSN_CHECK(pid < wake_.size(), "pid out of range");
+  wake_[pid].reset();
+}
+
+void Transport::register_handler(ProcessId pid, Handler handler) {
+  PSN_CHECK(pid < handlers_.size(), "pid out of range");
+  PSN_CHECK(static_cast<bool>(handler), "null handler");
+  handlers_[pid] = std::move(handler);
+}
+
+void Transport::unicast(Message msg) {
+  PSN_CHECK(msg.src < overlay_.size() && msg.dst < overlay_.size(),
+            "message endpoints out of range");
+  PSN_CHECK(msg.src != msg.dst, "self-addressed message");
+  transmit(std::move(msg));
+}
+
+void Transport::broadcast(Message msg) {
+  PSN_CHECK(msg.src < overlay_.size(), "broadcast source out of range");
+  for (ProcessId p = 0; p < overlay_.size(); ++p) {
+    if (p == msg.src) continue;
+    Message copy = msg;
+    copy.dst = p;
+    transmit(std::move(copy));
+  }
+}
+
+void Transport::transmit(Message msg) {
+  auto& ks = stats_.of(msg.kind);
+  ks.sent++;
+  ks.bytes_sent += wire_bytes(msg);
+  msg.sent_at = sim_.now();
+
+  const std::size_t hops = overlay_.hop_distance(msg.src, msg.dst);
+  if (hops == SIZE_MAX) {
+    ks.unreachable++;
+    return;
+  }
+  Duration total = Duration::zero();
+  for (std::size_t h = 0; h < hops; ++h) {
+    if (loss_->drop(sim_.now(), rng_)) {
+      ks.dropped++;
+      return;
+    }
+    total += delay_->sample(rng_);
+  }
+  // Duty cycling: an arrival during the receiver's sleep window waits at
+  // the MAC until the next wake edge.
+  if (wake_[msg.dst].has_value()) {
+    const SimTime arrival = sim_.now() + total;
+    const SimTime deliverable = wake_[msg.dst]->next_wake(arrival);
+    total = deliverable - sim_.now();
+  }
+  if (fifo_) {
+    SimTime& last = last_delivery_[{msg.src, msg.dst}];
+    SimTime at = sim_.now() + total;
+    if (at <= last) at = last + Duration::nanos(1);
+    last = at;
+    total = at - sim_.now();
+  }
+  const ProcessId dst = msg.dst;
+  sim_.scheduler().schedule_after(total, [this, msg = std::move(msg), dst]() mutable {
+    auto& stats = stats_.of(msg.kind);
+    PSN_CHECK(static_cast<bool>(handlers_[dst]),
+              "no handler registered for destination process");
+    msg.delivered_at = sim_.now();
+    stats.delivered++;
+    handlers_[dst](msg);
+  });
+}
+
+}  // namespace psn::net

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/delay_model.hpp"
+#include "net/duty_cycle.hpp"
+#include "net/loss_model.hpp"
+#include "net/message.hpp"
+#include "net/overlay.hpp"
+#include "sim/simulation.hpp"
+
+namespace psn::net {
+
+/// Per-kind traffic accounting — experiment E7's raw data ("this service is
+/// not for free": the cost of each time-model option is messages and bytes).
+struct MessageStats {
+  struct KindStats {
+    std::size_t sent = 0;        ///< transmissions attempted (per destination)
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;     ///< lost to the loss model
+    std::size_t unreachable = 0; ///< no path in the overlay
+    std::size_t bytes_sent = 0;
+  };
+
+  KindStats& of(MessageKind k) { return per_kind_[static_cast<std::size_t>(k)]; }
+  const KindStats& of(MessageKind k) const {
+    return per_kind_[static_cast<std::size_t>(k)];
+  }
+  std::size_t total_sent() const;
+  std::size_t total_bytes() const;
+
+ private:
+  std::array<KindStats, 4> per_kind_{};
+};
+
+/// Nominal on-the-wire size of a message (vector-strobe mode for strobes;
+/// per-mode E7 accounting recomputes from the payload helpers).
+std::size_t wire_bytes(const Message& msg);
+
+/// Asynchronous message-passing transport over the overlay L.
+///
+/// Unicasts follow the shortest path, accumulating one delay sample and one
+/// loss trial per hop. Broadcasts ("System-wide_Broadcast" of the strobe
+/// rules) fan out to every other process as independent unicasts — delays
+/// differ per receiver, which is precisely what creates the race conditions
+/// the paper analyzes.
+class Transport {
+ public:
+  Transport(sim::Simulation& sim, Overlay overlay,
+            std::unique_ptr<DelayModel> delay, std::unique_ptr<LossModel> loss,
+            Rng rng);
+
+  /// When enabled, deliveries between each ordered (src, dst) pair never
+  /// overtake one another: a message's delivery time is clamped to be after
+  /// the pair's previous delivery. Off by default (radio links reorder);
+  /// protocols that assume FIFO channels (e.g. Chandy–Lamport snapshots)
+  /// enable it.
+  void set_fifo_channels(bool fifo) { fifo_ = fifo; }
+  bool fifo_channels() const { return fifo_; }
+
+  /// Installs a duty-cycle wake schedule for `pid`'s receiver: arrivals
+  /// while asleep are held by the MAC and delivered at the next wake edge
+  /// (paper §5, duty-cycled habitat monitoring). No schedule = always on.
+  void set_wake_schedule(ProcessId pid, const DutyCycle& schedule);
+  void clear_wake_schedule(ProcessId pid);
+
+  using Handler = std::function<void(const Message&)>;
+  /// Installs the delivery callback for process `pid`. Must be set before
+  /// any message addressed to `pid` is delivered.
+  void register_handler(ProcessId pid, Handler handler);
+
+  /// Sends `msg` (src/dst/kind/payload filled in by the caller).
+  void unicast(Message msg);
+  /// Delivers independently to every process except `msg.src`.
+  void broadcast(Message msg);
+
+  Overlay& overlay() { return overlay_; }
+  const Overlay& overlay() const { return overlay_; }
+  DelayModel& delay_model() { return *delay_; }
+  const MessageStats& stats() const { return stats_; }
+
+ private:
+  void transmit(Message msg);
+
+  sim::Simulation& sim_;
+  Overlay overlay_;
+  std::unique_ptr<DelayModel> delay_;
+  std::unique_ptr<LossModel> loss_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  MessageStats stats_;
+  bool fifo_ = false;
+  /// Last scheduled delivery time per (src, dst), for FIFO clamping.
+  std::map<std::pair<ProcessId, ProcessId>, SimTime> last_delivery_;
+  /// Receiver wake schedules; nullopt = always-on radio.
+  std::vector<std::optional<DutyCycle>> wake_;
+};
+
+}  // namespace psn::net

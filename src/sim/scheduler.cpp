@@ -1,0 +1,83 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::sim {
+
+EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
+  PSN_CHECK(at >= now_, "cannot schedule into the past");
+  PSN_CHECK(static_cast<bool>(fn), "null callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueueKey{at, next_seq_++, id});
+  live_.emplace(id, std::move(fn));
+  return EventHandle(id);
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
+  PSN_CHECK(delay >= Duration::zero(), "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  live_.erase(h.id_);  // queue entry becomes a tombstone, skipped on pop
+}
+
+void Scheduler::execute_top() {
+  const QueueKey key = queue_.top();
+  queue_.pop();
+  const auto it = live_.find(key.id);
+  if (it == live_.end()) return;  // cancelled
+  Callback fn = std::move(it->second);
+  live_.erase(it);
+  now_ = key.at;
+  executed_++;
+  fn();
+}
+
+SimTime Scheduler::next_time() {
+  while (!queue_.empty() && !live_.contains(queue_.top().id)) {
+    queue_.pop();  // drain cancelled-event tombstones
+  }
+  return queue_.empty() ? SimTime::max() : queue_.top().at;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    const auto it = live_.find(queue_.top().id);
+    if (it == live_.end()) {
+      queue_.pop();  // drain tombstone
+      continue;
+    }
+    execute_top();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    const auto it = live_.find(queue_.top().id);
+    if (it == live_.end()) {
+      queue_.pop();
+      continue;
+    }
+    execute_top();
+    n++;
+  }
+  // Time advances to `until` even if the calendar went quiet earlier, so a
+  // subsequent schedule_after() measures from the end of the window.
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) n++;
+  return n;
+}
+
+}  // namespace psn::sim

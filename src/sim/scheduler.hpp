@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace psn::sim {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Deterministic discrete-event calendar.
+///
+/// Events at equal timestamps fire in schedule order (FIFO tie-break by a
+/// monotonically increasing sequence number), so a run is a pure function of
+/// the seed and the configuration. Callbacks may schedule further events,
+/// including at the current instant (they will run after all callbacks
+/// already queued for that instant).
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time; advances only inside run()/step().
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now()).
+  EventHandle schedule_at(SimTime at, Callback fn);
+  /// Schedules `fn` after `delay` (>= 0) from now().
+  EventHandle schedule_after(Duration delay, Callback fn);
+  /// Cancels a pending event. Cancelling an already-fired or invalid handle
+  /// is a harmless no-op (the common case when a timer raced its cancel).
+  void cancel(EventHandle h);
+
+  /// Time of the earliest pending event, or SimTime::max() if none.
+  /// Non-const: drains cancelled-event tombstones from the queue front.
+  SimTime next_time();
+
+  /// Runs the single earliest pending event; returns false if none pending.
+  bool step();
+  /// Runs events with time <= `until` (inclusive); returns events executed.
+  std::size_t run_until(SimTime until);
+  /// Runs until the calendar drains or `max_events` executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  std::size_t pending() const { return live_.size(); }
+  std::uint64_t total_executed() const { return executed_; }
+
+ private:
+  struct QueueKey {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const QueueKey& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void execute_top();
+
+  SimTime now_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueKey, std::vector<QueueKey>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Callback> live_;
+};
+
+}  // namespace psn::sim

@@ -1,0 +1,31 @@
+#include "sim/simulation.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace psn::sim {
+
+Simulation::Simulation(SimConfig config)
+    : config_(config), master_(config.seed) {
+  PSN_CHECK(config_.horizon > SimTime::zero(), "horizon must be positive");
+}
+
+Rng Simulation::rng_for(const std::string& name, std::uint64_t index) const {
+  return master_.substream(name, index);
+}
+
+std::size_t Simulation::run() {
+  std::size_t total = 0;
+  while (total < config_.max_events &&
+         scheduler_.next_time() <= config_.horizon) {
+    scheduler_.step();
+    total++;
+  }
+  if (total >= config_.max_events) {
+    PSN_WARN << "simulation hit max_events=" << config_.max_events
+             << " before horizon; results may be truncated";
+  }
+  return total;
+}
+
+}  // namespace psn::sim

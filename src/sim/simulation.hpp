@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sim/scheduler.hpp"
+
+namespace psn::sim {
+
+/// Configuration shared by every simulation run.
+struct SimConfig {
+  std::uint64_t seed = 1;
+  /// Hard end of simulated time; events beyond it are not executed.
+  SimTime horizon = SimTime::from_seconds(60.0);
+  /// Safety valve against runaway event loops.
+  std::size_t max_events = 50'000'000;
+};
+
+/// Owns the scheduler and the master RNG for one run.
+///
+/// Components derive their own RNG substreams via `rng_for(name, index)`, so
+/// the draw sequence of one component is independent of the others (see Rng).
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config);
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  SimTime now() const { return scheduler_.now(); }
+  const SimConfig& config() const { return config_; }
+
+  /// Independent RNG stream for a named component.
+  Rng rng_for(const std::string& name, std::uint64_t index = 0) const;
+
+  /// Runs to the configured horizon; returns events executed.
+  std::size_t run();
+
+ private:
+  SimConfig config_;
+  Rng master_;
+  Scheduler scheduler_;
+};
+
+}  // namespace psn::sim

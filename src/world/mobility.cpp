@@ -1,0 +1,97 @@
+#include "world/mobility.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::world {
+
+namespace {
+
+/// Advances `from` toward `to` by `dist`; returns the new point and whether
+/// the target was reached.
+std::pair<Point2D, bool> advance(const Point2D& from, const Point2D& to,
+                                 double dist) {
+  const double total = from.distance_to(to);
+  if (total <= dist) return {to, true};
+  const double f = dist / total;
+  return {Point2D{from.x + (to.x - from.x) * f, from.y + (to.y - from.y) * f},
+          false};
+}
+
+}  // namespace
+
+RandomWaypointMobility::RandomWaypointMobility(WorldModel& world,
+                                               ObjectId object,
+                                               RandomWaypointConfig config,
+                                               Rng rng)
+    : world_(world), object_(object), config_(config), rng_(rng) {
+  PSN_CHECK(config_.width > 0.0 && config_.height > 0.0,
+            "mobility field must have positive extent");
+  PSN_CHECK(config_.speed_min > 0.0 && config_.speed_min <= config_.speed_max,
+            "mobility speeds invalid");
+  PSN_CHECK(config_.tick > Duration::zero(), "mobility tick must be positive");
+}
+
+void RandomWaypointMobility::pick_waypoint() {
+  waypoint_ = Point2D{rng_.uniform(0.0, config_.width),
+                      rng_.uniform(0.0, config_.height)};
+  speed_ = rng_.uniform(config_.speed_min, config_.speed_max);
+  waypoints_++;
+}
+
+void RandomWaypointMobility::start() {
+  pick_waypoint();
+  world_.simulation().scheduler().schedule_after(config_.tick,
+                                                 [this] { step(); });
+}
+
+void RandomWaypointMobility::step() {
+  auto& sched = world_.simulation().scheduler();
+  if (paused_) {
+    paused_ = false;
+    pick_waypoint();
+    sched.schedule_after(config_.tick, [this] { step(); });
+    return;
+  }
+  const Point2D here = world_.object(object_).location();
+  const double dist = speed_ * config_.tick.to_seconds();
+  const auto [next, arrived] = advance(here, waypoint_, dist);
+  travelled_ += here.distance_to(next);
+  world_.move(object_, next);
+  if (arrived) {
+    paused_ = true;
+    sched.schedule_after(config_.pause, [this] { step(); });
+  } else {
+    sched.schedule_after(config_.tick, [this] { step(); });
+  }
+}
+
+PatrolMobility::PatrolMobility(WorldModel& world, ObjectId object,
+                               std::vector<Point2D> waypoints, double speed,
+                               Duration tick)
+    : world_(world),
+      object_(object),
+      waypoints_(std::move(waypoints)),
+      speed_(speed),
+      tick_(tick) {
+  PSN_CHECK(!waypoints_.empty(), "patrol needs at least one waypoint");
+  PSN_CHECK(speed_ > 0.0, "patrol speed must be positive");
+  PSN_CHECK(tick_ > Duration::zero(), "patrol tick must be positive");
+}
+
+void PatrolMobility::start() {
+  world_.simulation().scheduler().schedule_after(tick_, [this] { step(); });
+}
+
+void PatrolMobility::step() {
+  const Point2D here = world_.object(object_).location();
+  const double dist = speed_ * tick_.to_seconds();
+  const auto [next, arrived] = advance(here, waypoints_[target_], dist);
+  world_.move(object_, next);
+  if (arrived) target_ = (target_ + 1) % waypoints_.size();
+  world_.simulation().scheduler().schedule_after(tick_, [this] { step(); });
+}
+
+}  // namespace psn::world

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "world/world_model.hpp"
+
+namespace psn::world {
+
+/// Random-waypoint mobility for a world object (paper §2.1: "the objects in
+/// O may be static or mobile (e.g., objects with RFID tags, animals with
+/// embedded chips, humans)"). The object picks a uniform waypoint inside a
+/// rectangle, walks toward it at a uniform-drawn speed, pauses, repeats.
+/// Position is advanced in discrete ticks via WorldModel::move(), which
+/// drives proximity sensing (core/proximity).
+struct RandomWaypointConfig {
+  double width = 100.0;   ///< field extent, meters
+  double height = 100.0;
+  double speed_min = 0.5;  ///< m/s — lifeform speeds, slow relative to Δ
+  double speed_max = 2.0;
+  Duration pause = Duration::seconds(2);
+  Duration tick = Duration::millis(200);
+};
+
+class RandomWaypointMobility {
+ public:
+  RandomWaypointMobility(WorldModel& world, ObjectId object,
+                         RandomWaypointConfig config, Rng rng);
+
+  void start();
+
+  double distance_travelled() const { return travelled_; }
+  std::size_t waypoints_visited() const { return waypoints_; }
+
+ private:
+  void pick_waypoint();
+  void step();
+
+  WorldModel& world_;
+  ObjectId object_;
+  RandomWaypointConfig config_;
+  Rng rng_;
+  Point2D waypoint_;
+  double speed_ = 1.0;
+  double travelled_ = 0.0;
+  std::size_t waypoints_ = 0;
+  bool paused_ = false;
+};
+
+/// Deterministic patrol along a fixed cycle of waypoints at constant speed —
+/// for tests and benchmarks that need reproducible coverage of sensor zones.
+class PatrolMobility {
+ public:
+  PatrolMobility(WorldModel& world, ObjectId object,
+                 std::vector<Point2D> waypoints, double speed,
+                 Duration tick = Duration::millis(200));
+
+  void start();
+
+ private:
+  void step();
+
+  WorldModel& world_;
+  ObjectId object_;
+  std::vector<Point2D> waypoints_;
+  double speed_;
+  Duration tick_;
+  std::size_t target_ = 0;
+};
+
+}  // namespace psn::world

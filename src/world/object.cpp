@@ -1,0 +1,14 @@
+#include "world/object.hpp"
+
+#include "common/error.hpp"
+
+namespace psn::world {
+
+const AttributeValue& WorldObject::attribute(const std::string& attr) const {
+  const auto it = attrs_.find(attr);
+  PSN_CHECK(it != attrs_.end(),
+            "object '" + name_ + "' has no attribute '" + attr + "'");
+  return it->second;
+}
+
+}  // namespace psn::world

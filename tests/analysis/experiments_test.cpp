@@ -1,0 +1,101 @@
+#include "analysis/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psn::analysis {
+namespace {
+
+using namespace psn::time_literals;
+
+OccupancyConfig small_config(std::uint64_t seed = 1) {
+  OccupancyConfig cfg;
+  cfg.doors = 2;
+  cfg.capacity = 50;
+  cfg.movement_rate = 10.0;
+  cfg.delta = 50_ms;
+  cfg.horizon = 20_s;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(OccupancyExperimentTest, ProducesAllFourDetectors) {
+  const auto run = run_occupancy_experiment(small_config());
+  ASSERT_EQ(run.outcomes.size(), 4u);
+  EXPECT_NO_THROW(run.outcome("strobe-vector"));
+  EXPECT_NO_THROW(run.outcome("strobe-scalar"));
+  EXPECT_NO_THROW(run.outcome("physical-eps"));
+  EXPECT_NO_THROW(run.outcome("delivery-order"));
+  EXPECT_THROW(run.outcome("nonexistent"), InvariantError);
+}
+
+TEST(OccupancyExperimentTest, PhysicalDetectorNearPerfectAtTinyEpsilon) {
+  OccupancyConfig cfg = small_config(3);
+  cfg.sync_epsilon = 10_us;
+  const auto run = run_occupancy_experiment(cfg);
+  const auto& phys = run.outcome("physical-eps").score;
+  EXPECT_GT(phys.oracle_occurrences, 3u);
+  EXPECT_DOUBLE_EQ(phys.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(phys.precision(), 1.0);
+}
+
+TEST(OccupancyExperimentTest, DeterministicForSameSeed) {
+  const auto a = run_occupancy_experiment(small_config(9));
+  const auto b = run_occupancy_experiment(small_config(9));
+  EXPECT_EQ(a.world_events, b.world_events);
+  EXPECT_EQ(a.observed_updates, b.observed_updates);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].score.true_positives,
+              b.outcomes[i].score.true_positives);
+    EXPECT_EQ(a.outcomes[i].detections.size(),
+              b.outcomes[i].detections.size());
+  }
+}
+
+TEST(OccupancyExperimentTest, OracleSeesThresholdCrossings) {
+  const auto run = run_occupancy_experiment(small_config(4));
+  EXPECT_GT(run.oracle.occurrences.size(), 2u);
+  EXPECT_GT(run.oracle.fraction_true, 0.0);
+  EXPECT_LT(run.oracle.fraction_true, 1.0);
+  EXPECT_GT(run.world_events, 50u);
+  EXPECT_GT(run.observed_updates, 50u);
+}
+
+TEST(OccupancyExperimentTest, StrobeTrafficAccounted) {
+  const auto run = run_occupancy_experiment(small_config(5));
+  const auto& strobes = run.message_stats.of(net::MessageKind::kStrobe);
+  // Each sense event broadcasts to doors + root (= doors + 1 - 1 + ... ):
+  // 2 doors + root = 3 processes, so 2 copies per sense.
+  EXPECT_EQ(strobes.sent, run.world_events * 2);
+  EXPECT_GT(strobes.bytes_sent, 0u);
+}
+
+TEST(OccupancyExperimentTest, EffectiveToleranceAuto) {
+  OccupancyConfig cfg;
+  cfg.delta = 100_ms;
+  EXPECT_EQ(cfg.effective_tolerance(), 201_ms);
+  cfg.score_tolerance = 5_ms;
+  EXPECT_EQ(cfg.effective_tolerance(), 5_ms);
+  OccupancyConfig unbounded;
+  unbounded.delta = Duration::max();
+  EXPECT_EQ(unbounded.effective_tolerance(), 2_s);
+}
+
+TEST(ReplicationTest, SumsAcrossSeeds) {
+  auto agg = run_occupancy_replicated(small_config(10), 3);
+  ASSERT_EQ(agg.size(), 4u);
+  for (const auto& [name, outcome] : agg) {
+    EXPECT_GT(outcome.score.oracle_occurrences, 0u) << name;
+    EXPECT_EQ(outcome.belief_accuracy.count(), 3u) << name;
+  }
+  // Aggregate equals the sum of individual runs for one detector.
+  std::size_t tp_sum = 0;
+  for (std::uint64_t s = 10; s < 13; ++s) {
+    tp_sum += run_occupancy_experiment(small_config(s))
+                  .outcome("strobe-vector")
+                  .score.true_positives;
+  }
+  EXPECT_EQ(agg.at("strobe-vector").score.true_positives, tp_sum);
+}
+
+}  // namespace
+}  // namespace psn::analysis

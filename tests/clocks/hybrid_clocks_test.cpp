@@ -1,0 +1,165 @@
+// Tests for the physical vector clock (paper §3.2.1.b.ii) and the hybrid
+// logical clock extension.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "clocks/hlc.hpp"
+#include "clocks/physical_vector.hpp"
+#include "common/rng.hpp"
+
+namespace psn::clocks {
+namespace {
+
+using namespace psn::time_literals;
+
+SimTime t(std::int64_t ms) { return SimTime::zero() + Duration::millis(ms); }
+
+DriftingClock make_clock(Duration offset, std::uint64_t seed) {
+  DriftingClockConfig cfg;
+  cfg.initial_offset = offset;
+  return DriftingClock(cfg, Rng(seed));
+}
+
+TEST(PhysicalVectorClockTest, TickRecordsLocalReading) {
+  auto local = make_clock(5_ms, 1);
+  PhysicalVectorClock clock(0, 2, local);
+  clock.tick(t(100));
+  EXPECT_EQ(clock.known_time_of(0), t(105));
+  EXPECT_EQ(clock.known_time_of(1), SimTime::zero());
+}
+
+TEST(PhysicalVectorClockTest, MonotoneUnderJitter) {
+  DriftingClockConfig cfg;
+  cfg.read_jitter = 10_ms;
+  DriftingClock local(cfg, Rng(2));
+  PhysicalVectorClock clock(0, 1, local);
+  SimTime prev = SimTime::zero();
+  for (int i = 0; i < 200; ++i) {
+    clock.tick(t(i));  // jitter (±10 ms) dwarfs the 1 ms step
+    EXPECT_GT(clock.known_time_of(0), prev);
+    prev = clock.known_time_of(0);
+  }
+}
+
+TEST(PhysicalVectorClockTest, ReceiveMergesRemoteWallTimes) {
+  auto la = make_clock(Duration::zero(), 3);
+  auto lb = make_clock(50_ms, 4);
+  PhysicalVectorClock a(0, 2, la), b(1, 2, lb);
+  const auto sent = a.on_send(t(100));
+  b.on_receive(sent, t(120));
+  // b now knows a's wall time at the send (100 ms), and its own reading.
+  EXPECT_EQ(b.known_time_of(0), t(100));
+  EXPECT_EQ(b.known_time_of(1), t(170));  // 120 + 50 offset
+}
+
+TEST(PhysicalVectorClockTest, CausalityTracking) {
+  auto la = make_clock(Duration::zero(), 5);
+  auto lb = make_clock(Duration::zero(), 6);
+  PhysicalVectorClock a(0, 2, la), b(1, 2, lb);
+
+  const PhysicalVectorStamp sa = a.tick(t(10));
+  const PhysicalVectorStamp sb = b.tick(t(11));
+  EXPECT_EQ(compare(sa, sb), PhysicalOrdering::kConcurrent);
+
+  const auto sent = a.on_send(t(20));
+  const auto recvd = b.on_receive(sent, t(30));
+  EXPECT_EQ(compare(sent, recvd), PhysicalOrdering::kBefore);
+  EXPECT_EQ(compare(recvd, sent), PhysicalOrdering::kAfter);
+}
+
+TEST(PhysicalVectorClockTest, SkewedClocksStillTrackCausality) {
+  // The point of §3.2.1.b.ii: components are unsynchronized wall times, yet
+  // dominance still reflects causality because merging is max-based.
+  auto la = make_clock(1_s, 7);        // way ahead
+  auto lb = make_clock(-(1_s), 8);     // way behind
+  PhysicalVectorClock a(0, 2, la), b(1, 2, lb);
+  const auto sent = a.on_send(t(100));
+  const auto recvd = b.on_receive(sent, t(150));
+  EXPECT_EQ(compare(sent, recvd), PhysicalOrdering::kBefore);
+}
+
+TEST(HlcTest, TracksPhysicalTimeWhenIdle) {
+  EpsSynchronizedClock phys(Duration::zero(), Rng(9));
+  HybridLogicalClock hlc(0, phys);
+  const HlcStamp s1 = hlc.tick(t(100));
+  EXPECT_EQ(s1.l, t(100));
+  EXPECT_EQ(s1.c, 0u);
+  const HlcStamp s2 = hlc.tick(t(200));
+  EXPECT_EQ(s2.l, t(200));
+  EXPECT_EQ(s2.c, 0u);
+}
+
+TEST(HlcTest, CounterBreaksTiesWithoutMovingL) {
+  EpsSynchronizedClock phys(Duration::zero(), Rng(10));
+  HybridLogicalClock hlc(0, phys);
+  hlc.tick(t(100));
+  // Second event at the same physical instant: l stays, c increments.
+  const HlcStamp s = hlc.tick(t(100));
+  EXPECT_EQ(s.l, t(100));
+  EXPECT_EQ(s.c, 1u);
+}
+
+TEST(HlcTest, ReceiveFromFutureAdoptsSenderTime) {
+  EpsSynchronizedClock phys(Duration::zero(), Rng(11));
+  HybridLogicalClock hlc(0, phys);
+  hlc.tick(t(100));
+  const HlcStamp incoming{t(500), 3};
+  const HlcStamp s = hlc.on_receive(incoming, t(101));
+  EXPECT_EQ(s.l, t(500));
+  EXPECT_EQ(s.c, 4u);  // incoming.c + 1
+  EXPECT_LT(incoming, s);
+}
+
+TEST(HlcTest, CausalityConsistencyAcrossMessages) {
+  EpsSynchronizedClock pa(1_ms, Rng(12)), pb(1_ms, Rng(13));
+  HybridLogicalClock a(0, pa), b(1, pb);
+  const HlcStamp sent = a.tick(t(100));
+  const HlcStamp recvd = b.on_receive(sent, t(105));
+  EXPECT_LT(sent, recvd);
+  const HlcStamp later = b.tick(t(200));
+  EXPECT_LT(recvd, later);
+}
+
+TEST(HlcTest, StaysNearPhysicalTimeUnderBoundedDelay) {
+  // With ε-synchronized clocks and Δ-bounded messages, HLC's l component
+  // never exceeds (max physical reading sent so far): simulate a message
+  // chain and check drift stays within ε + Δ of true time.
+  const Duration eps = 1_ms;
+  const Duration delta = 10_ms;
+  Rng rng(14);
+  std::vector<EpsSynchronizedClock> phys;
+  std::vector<HybridLogicalClock> hlcs;
+  for (ProcessId p = 0; p < 3; ++p) {
+    phys.emplace_back(eps, rng.substream("p", p));
+  }
+  for (ProcessId p = 0; p < 3; ++p) {
+    hlcs.emplace_back(p, phys[p]);
+  }
+  SimTime now = t(0);
+  HlcStamp in_flight{};
+  for (int step = 0; step < 300; ++step) {
+    now += Duration::millis(1);
+    const auto p = static_cast<ProcessId>(rng.uniform_int(0, 2));
+    if (rng.bernoulli(0.5)) {
+      in_flight = hlcs[p].tick(now);
+    } else {
+      const HlcStamp s = hlcs[p].on_receive(in_flight, now);
+      const Duration divergence = s.l - now;
+      EXPECT_LE(divergence, eps + delta + eps)
+          << "HLC drifted beyond eps+Delta bound";
+    }
+  }
+}
+
+TEST(HlcStampTest, OrderingAndFormat) {
+  const HlcStamp a{t(1), 5}, b{t(1), 6}, c{t(2), 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a.to_string().find("+5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psn::clocks

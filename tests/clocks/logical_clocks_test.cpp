@@ -1,0 +1,160 @@
+// Unit tests of the four logical clock protocols against the paper's rules:
+// SC1–SC3 (Lamport), VC1–VC3 (Mattern/Fidge), SSC1–SSC2 (strobe scalar),
+// SVC1–SVC2 (strobe vector). The distinguishing behaviors of §4.2.3 are each
+// pinned by a test.
+
+#include <gtest/gtest.h>
+
+#include "clocks/lamport.hpp"
+#include "clocks/strobe_scalar.hpp"
+#include "clocks/strobe_vector.hpp"
+#include "clocks/vector_clock.hpp"
+#include "common/error.hpp"
+
+namespace psn::clocks {
+namespace {
+
+TEST(LamportClockTest, SC1TickIncrements) {
+  LamportClock c(0);
+  EXPECT_EQ(c.current().value, 0u);
+  EXPECT_EQ(c.tick().value, 1u);
+  EXPECT_EQ(c.tick().value, 2u);
+}
+
+TEST(LamportClockTest, SC2SendTicksAndStamps) {
+  LamportClock c(1);
+  const ScalarStamp sent = c.on_send();
+  EXPECT_EQ(sent.value, 1u);
+  EXPECT_EQ(sent.pid, 1u);
+}
+
+TEST(LamportClockTest, SC3ReceiveMaxesThenTicks) {
+  LamportClock c(0);
+  c.tick();  // 1
+  const ScalarStamp after = c.on_receive({10, 1});
+  EXPECT_EQ(after.value, 11u);  // max(1,10)+1
+  // Receiving an old stamp still ticks.
+  EXPECT_EQ(c.on_receive({3, 1}).value, 12u);
+}
+
+TEST(LamportClockTest, ClockConditionOnMessageChain) {
+  // send at P0 then receive at P1: receive stamp > send stamp.
+  LamportClock p0(0), p1(1);
+  p1.tick();
+  p1.tick();
+  const ScalarStamp sent = p0.on_send();
+  const ScalarStamp recvd = p1.on_receive(sent);
+  EXPECT_LT(sent, recvd);
+}
+
+TEST(MatternVectorClockTest, VC1TicksOwnComponentOnly) {
+  MatternVectorClock c(1, 3);
+  c.tick();
+  c.tick();
+  EXPECT_EQ(c.current(), VectorStamp({0, 2, 0}));
+}
+
+TEST(MatternVectorClockTest, VC3MergesThenTicks) {
+  MatternVectorClock c(0, 3);
+  c.tick();  // [1,0,0]
+  const VectorStamp got = c.on_receive(VectorStamp({0, 4, 1}));
+  EXPECT_EQ(got, VectorStamp({2, 4, 1}));
+}
+
+TEST(MatternVectorClockTest, SendThenReceiveOrdersStamps) {
+  MatternVectorClock a(0, 2), b(1, 2);
+  b.tick();
+  const VectorStamp sent = a.on_send();
+  const VectorStamp recvd = b.on_receive(sent);
+  EXPECT_TRUE(happens_before(sent, recvd));
+}
+
+TEST(MatternVectorClockTest, IndependentProcessesAreConcurrent) {
+  MatternVectorClock a(0, 2), b(1, 2);
+  const VectorStamp sa = a.tick();
+  const VectorStamp sb = b.tick();
+  EXPECT_TRUE(concurrent(sa, sb));
+}
+
+TEST(MatternVectorClockTest, PidOutOfRangeThrows) {
+  EXPECT_THROW(MatternVectorClock(3, 3), InvariantError);
+}
+
+TEST(StrobeScalarClockTest, SSC1TicksAndReturnsBroadcastValue) {
+  StrobeScalarClock c(2);
+  const ScalarStamp s = c.on_relevant_event();
+  EXPECT_EQ(s.value, 1u);
+  EXPECT_EQ(s.pid, 2u);
+}
+
+TEST(StrobeScalarClockTest, SSC2MergesWithoutTick) {
+  // Paper §4.2.3 point 2: "on receiving a strobe, the receiver updates its
+  // clock but does not tick locally" — unlike SC3.
+  StrobeScalarClock c(0);
+  c.on_relevant_event();  // 1
+  c.on_strobe({10, 1});
+  EXPECT_EQ(c.current().value, 10u);  // max(1,10), NOT 11
+  c.on_strobe({4, 1});
+  EXPECT_EQ(c.current().value, 10u);  // old strobe is a no-op
+}
+
+TEST(StrobeScalarClockTest, MonotoneUnderAnyStrobeSequence) {
+  StrobeScalarClock c(0);
+  std::uint64_t prev = 0;
+  const std::uint64_t strobes[] = {3, 1, 7, 7, 2, 20, 5};
+  for (const auto v : strobes) {
+    c.on_strobe({v, 1});
+    EXPECT_GE(c.current().value, prev);
+    prev = c.current().value;
+  }
+}
+
+TEST(StrobeVectorClockTest, SVC1TicksOwnComponent) {
+  StrobeVectorClock c(1, 3);
+  const VectorStamp s = c.on_relevant_event();
+  EXPECT_EQ(s, VectorStamp({0, 1, 0}));
+}
+
+TEST(StrobeVectorClockTest, SVC2MergesWithoutOwnTick) {
+  StrobeVectorClock c(0, 3);
+  c.on_relevant_event();  // [1,0,0]
+  c.on_strobe(VectorStamp({0, 5, 2}));
+  EXPECT_EQ(c.current(), VectorStamp({1, 5, 2}));  // own component unchanged
+}
+
+TEST(StrobeVectorClockTest, CatchUpSemantics) {
+  // Strobes make everyone's view of everyone's sense counts converge.
+  StrobeVectorClock a(0, 2), b(1, 2);
+  const VectorStamp s1 = a.on_relevant_event();
+  b.on_strobe(s1);
+  const VectorStamp s2 = b.on_relevant_event();
+  EXPECT_EQ(s2, VectorStamp({1, 1}));  // b knows a's event
+  a.on_strobe(s2);
+  EXPECT_EQ(a.current(), VectorStamp({1, 1}));
+}
+
+TEST(StrobeVectorClockTest, RaceShowsAsConcurrentStamps) {
+  // Two sensors tick before either strobe arrives: their stamps must be
+  // concurrent — this is exactly the paper's "race within Delta".
+  StrobeVectorClock a(0, 2), b(1, 2);
+  const VectorStamp sa = a.on_relevant_event();
+  const VectorStamp sb = b.on_relevant_event();
+  EXPECT_TRUE(concurrent(sa, sb));
+}
+
+TEST(StrobeVectorClockTest, StrobeBeforeEventOrdersStamps) {
+  // If b hears a's strobe before its own sense event, stamps are ordered:
+  // no race.
+  StrobeVectorClock a(0, 2), b(1, 2);
+  const VectorStamp sa = a.on_relevant_event();
+  b.on_strobe(sa);
+  const VectorStamp sb = b.on_relevant_event();
+  EXPECT_TRUE(happens_before(sa, sb));
+}
+
+TEST(StrobeVectorClockTest, PidOutOfRangeThrows) {
+  EXPECT_THROW(StrobeVectorClock(2, 2), InvariantError);
+}
+
+}  // namespace
+}  // namespace psn::clocks

@@ -1,0 +1,86 @@
+#include "clocks/matrix_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+namespace {
+
+TEST(MatrixClockTest, TickAdvancesOwnDiagonal) {
+  MatrixClock m(1, 3);
+  m.tick();
+  m.tick();
+  EXPECT_EQ(m.vector(), VectorStamp({0, 2, 0}));
+  EXPECT_EQ(m.matrix()[0], VectorStamp({0, 0, 0}));
+  EXPECT_EQ(m.matrix()[2], VectorStamp({0, 0, 0}));
+}
+
+TEST(MatrixClockTest, OwnRowIsVectorClock) {
+  // The own row must evolve exactly like a Mattern/Fidge vector clock.
+  MatrixClock a(0, 2), b(1, 2);
+  const auto& sent = a.on_send();
+  b.on_receive(0, sent);
+  EXPECT_EQ(b.vector(), VectorStamp({1, 1}));
+  const auto& sent2 = b.on_send();
+  a.on_receive(1, sent2);
+  EXPECT_EQ(a.vector(), VectorStamp({2, 2}));
+}
+
+TEST(MatrixClockTest, LearnsWhatOthersKnow) {
+  MatrixClock a(0, 3), b(1, 3), c(2, 3);
+  // a tells b; then b tells c. c must know that b knows a's event.
+  b.on_receive(0, a.on_send());
+  c.on_receive(1, b.on_send());
+  EXPECT_GE(c.matrix()[1][0], 1u) << "c should know b knows a's event";
+  EXPECT_GE(c.vector()[0], 1u);
+  // But c has no evidence that a knows anything of b.
+  EXPECT_EQ(c.matrix()[0][1], 0u);
+}
+
+TEST(MatrixClockTest, GarbageCollectionWatermark) {
+  // Process 0 produces events; once everyone has heard (and 0 has heard
+  // that they heard), all_know_of(0) rises to the produced count.
+  MatrixClock a(0, 3), b(1, 3), c(2, 3);
+  a.tick();
+  a.tick();  // two events at a
+  EXPECT_EQ(a.all_know_of(0), 0u);  // nobody else knows yet
+
+  // a → b, a → c: both learn.
+  b.on_receive(0, a.on_send());  // a's 3rd event (the send)
+  c.on_receive(0, a.on_send());  // a's 4th event
+  // Acks flow back: b → a, c → a.
+  a.on_receive(1, b.on_send());
+  a.on_receive(2, c.on_send());
+
+  // Everyone (as far as a knows) has seen at least a's first 3 events.
+  EXPECT_GE(a.all_know_of(0), 3u);
+  // b, however, has not heard back from c, so b's watermark stays lower.
+  EXPECT_LT(b.all_know_of(0), a.all_know_of(0));
+}
+
+TEST(MatrixClockTest, WatermarkNeverExceedsTruth) {
+  // The low-watermark is conservative: as long as any process has not been
+  // heard from, it pins the watermark at zero.
+  MatrixClock a(0, 3), b(1, 3);  // process 2 stays silent
+  for (int i = 0; i < 5; ++i) a.tick();
+  EXPECT_EQ(a.all_know_of(0), 0u);
+  b.on_receive(0, a.on_send());
+  // b knows a's 6 events, and knows a knows them — but process 2's row is
+  // still all-zero, so nothing may be collected.
+  EXPECT_EQ(b.vector()[0], 6u);
+  EXPECT_EQ(b.all_know_of(0), 0u);
+  a.on_receive(1, b.on_send());
+  EXPECT_EQ(a.all_know_of(0), 0u);  // still gated by the silent process
+}
+
+TEST(MatrixClockTest, DimensionChecks) {
+  EXPECT_THROW(MatrixClock(3, 3), InvariantError);
+  MatrixClock a(0, 2);
+  MatrixClock big(0, 3);
+  EXPECT_THROW(a.on_receive(1, big.matrix()), InvariantError);
+  EXPECT_THROW(a.all_know_of(5), InvariantError);
+}
+
+}  // namespace
+}  // namespace psn::clocks

@@ -1,0 +1,118 @@
+#include "clocks/sync_protocols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+namespace {
+
+using namespace psn::time_literals;
+
+std::vector<DriftingClock> make_fleet(std::size_t n, Duration offset_spread,
+                                      std::uint64_t seed) {
+  std::vector<DriftingClock> clocks;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    DriftingClockConfig cfg;
+    cfg.initial_offset =
+        rng.uniform_duration(-offset_spread, offset_spread);
+    cfg.read_jitter = 5_us;
+    clocks.emplace_back(cfg, rng.substream("clock", i));
+  }
+  return clocks;
+}
+
+TEST(RbsSyncTest, ReducesSkewByOrdersOfMagnitude) {
+  auto clocks = make_fleet(5, 50_ms, 1);
+  const SimTime start = SimTime::from_seconds(1.0);
+  const Duration before = max_pairwise_skew(clocks, start);
+  ASSERT_GT(before, 10_ms);
+
+  RbsSync rbs({.mean_delay = 500_us, .jitter = 50_us}, 8);
+  Rng rng(2);
+  const SyncReport report = rbs.run(clocks, start, rng);
+  EXPECT_LT(report.achieved_skew, 1_ms);
+  EXPECT_LT(report.achieved_skew, before / 10);
+}
+
+TEST(RbsSyncTest, AccountsMessagesAndBytes) {
+  auto clocks = make_fleet(4, 10_ms, 3);
+  RbsSync rbs({.mean_delay = 500_us, .jitter = 50_us}, 5);
+  Rng rng(4);
+  const SyncReport report = rbs.run(clocks, SimTime::from_seconds(1.0), rng);
+  // Per round: 1 beacon + (n-1) exchanges.
+  EXPECT_EQ(report.messages, 5u * (1 + 3));
+  EXPECT_GT(report.bytes, 0u);
+  EXPECT_EQ(report.residual_error_ns.count(), 3u);
+}
+
+TEST(RbsSyncTest, PerfectClocksStayPerfect) {
+  std::vector<DriftingClock> clocks;
+  for (int i = 0; i < 3; ++i) {
+    clocks.emplace_back(DriftingClockConfig{}, Rng(static_cast<std::uint64_t>(i)));
+  }
+  RbsSync rbs({.mean_delay = 500_us, .jitter = Duration::zero()}, 3);
+  Rng rng(5);
+  const SyncReport report = rbs.run(clocks, SimTime::from_seconds(1.0), rng);
+  EXPECT_EQ(report.achieved_skew, Duration::zero());
+}
+
+TEST(TpsnSyncTest, ReducesSkew) {
+  auto clocks = make_fleet(5, 50_ms, 6);
+  const SimTime start = SimTime::from_seconds(1.0);
+  const Duration before = max_pairwise_skew(clocks, start);
+
+  TpsnSync tpsn({.mean_delay = 500_us, .jitter = 50_us}, 4);
+  Rng rng(7);
+  const SyncReport report = tpsn.run(clocks, start, rng);
+  EXPECT_LT(report.achieved_skew, before / 10);
+  // TPSN residual is limited by delay asymmetry — sub-jitter scale.
+  EXPECT_LT(report.achieved_skew, 1_ms);
+}
+
+TEST(TpsnSyncTest, MessageCountTwoPerRoundPerChild) {
+  auto clocks = make_fleet(4, 10_ms, 8);
+  TpsnSync tpsn({.mean_delay = 500_us, .jitter = 50_us}, 6);
+  Rng rng(9);
+  const SyncReport report = tpsn.run(clocks, SimTime::from_seconds(1.0), rng);
+  EXPECT_EQ(report.messages, 3u * 6u * 2u);
+}
+
+TEST(SyncCompareTest, MoreRoundsImproveRbs) {
+  // Averaging over more beacons shrinks the receive-jitter residual.
+  RunningStats few, many;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto c1 = make_fleet(4, 20_ms, 100 + seed);
+    auto c2 = make_fleet(4, 20_ms, 100 + seed);
+    Rng r1(200 + seed), r2(300 + seed);
+    RbsSync rbs1({.mean_delay = 500_us, .jitter = 200_us}, 1);
+    RbsSync rbs16({.mean_delay = 500_us, .jitter = 200_us}, 16);
+    few.add(rbs1.run(c1, SimTime::from_seconds(1.0), r1)
+                .achieved_skew.to_seconds());
+    many.add(rbs16.run(c2, SimTime::from_seconds(1.0), r2)
+                 .achieved_skew.to_seconds());
+  }
+  EXPECT_LT(many.mean(), few.mean());
+}
+
+TEST(MaxPairwiseSkewTest, KnownOffsets) {
+  std::vector<DriftingClock> clocks;
+  for (const std::int64_t ms : {0, 3, 10}) {
+    DriftingClockConfig cfg;
+    cfg.initial_offset = Duration::millis(ms);
+    clocks.emplace_back(cfg, Rng(1));
+  }
+  EXPECT_EQ(max_pairwise_skew(clocks, SimTime::from_seconds(5.0)), 10_ms);
+}
+
+TEST(SyncValidationTest, NeedsTwoClocks) {
+  auto clocks = make_fleet(1, 1_ms, 10);
+  RbsSync rbs({}, 1);
+  Rng rng(11);
+  EXPECT_THROW(rbs.run(clocks, SimTime::from_seconds(1.0), rng),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace psn::clocks

@@ -1,0 +1,95 @@
+#include "clocks/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::clocks {
+namespace {
+
+TEST(ScalarStampTest, TotalOrderByValueThenPid) {
+  const ScalarStamp a{5, 1}, b{5, 2}, c{6, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(compare(a, b), Ordering::kBefore);
+  EXPECT_EQ(compare(c, a), Ordering::kAfter);
+  EXPECT_EQ(compare(a, a), Ordering::kEqual);
+}
+
+TEST(ScalarStampTest, NeverConcurrent) {
+  // A scalar stamp order is total: races are invisible (paper §3.3).
+  const ScalarStamp a{5, 1}, b{5, 2};
+  EXPECT_NE(compare(a, b), Ordering::kConcurrent);
+}
+
+TEST(ScalarStampTest, WireSizeIsConstant) {
+  EXPECT_EQ(ScalarStamp::wire_size(), 8u);
+}
+
+TEST(ScalarStampTest, ToString) {
+  EXPECT_EQ((ScalarStamp{7, 2}).to_string(), "7@2");
+}
+
+TEST(VectorStampTest, CompareBeforeAfterEqual) {
+  VectorStamp a({1, 2, 3});
+  VectorStamp b({1, 2, 3});
+  VectorStamp c({2, 2, 3});
+  EXPECT_EQ(compare(a, b), Ordering::kEqual);
+  EXPECT_EQ(compare(a, c), Ordering::kBefore);
+  EXPECT_EQ(compare(c, a), Ordering::kAfter);
+  EXPECT_TRUE(happens_before(a, c));
+  EXPECT_FALSE(happens_before(c, a));
+  EXPECT_FALSE(happens_before(a, b));  // equal is not before
+}
+
+TEST(VectorStampTest, Concurrency) {
+  VectorStamp a({2, 0});
+  VectorStamp b({0, 2});
+  EXPECT_EQ(compare(a, b), Ordering::kConcurrent);
+  EXPECT_TRUE(concurrent(a, b));
+  EXPECT_TRUE(concurrent(b, a));
+  EXPECT_FALSE(concurrent(a, a));
+}
+
+TEST(VectorStampTest, MergeIsComponentwiseMax) {
+  VectorStamp a({1, 5, 2});
+  VectorStamp b({3, 1, 2});
+  a.merge(b);
+  EXPECT_EQ(a, VectorStamp({3, 5, 2}));
+  // Merge is idempotent.
+  a.merge(b);
+  EXPECT_EQ(a, VectorStamp({3, 5, 2}));
+}
+
+TEST(VectorStampTest, MergeYieldsLeastUpperBound) {
+  VectorStamp a({2, 0, 1});
+  VectorStamp b({0, 3, 1});
+  VectorStamp m = a;
+  m.merge(b);
+  EXPECT_TRUE(a.dominated_by(m));
+  EXPECT_TRUE(b.dominated_by(m));
+}
+
+TEST(VectorStampTest, DimensionMismatchThrows) {
+  VectorStamp a(2), b(3);
+  EXPECT_THROW(a.merge(b), InvariantError);
+  EXPECT_THROW((void)a.dominated_by(b), InvariantError);
+}
+
+TEST(VectorStampTest, WireSizeGrowsWithN) {
+  EXPECT_EQ(VectorStamp(1).wire_size(), 8u);
+  EXPECT_EQ(VectorStamp(16).wire_size(), 128u);
+}
+
+TEST(VectorStampTest, ToString) {
+  EXPECT_EQ(VectorStamp({1, 0, 4}).to_string(), "[1,0,4]");
+}
+
+TEST(OrderingTest, Names) {
+  EXPECT_STREQ(to_string(Ordering::kBefore), "before");
+  EXPECT_STREQ(to_string(Ordering::kConcurrent), "concurrent");
+}
+
+}  // namespace
+}  // namespace psn::clocks

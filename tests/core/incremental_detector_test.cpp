@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/detectors.hpp"
+#include "core/predicate_parser.hpp"
+
+namespace psn::core {
+namespace {
+
+using namespace psn::time_literals;
+
+SimTime t(std::int64_t ms) { return SimTime::zero() + Duration::millis(ms); }
+
+ReceivedUpdate update(std::int64_t delivered_ms, ProcessId reporter,
+                      const std::string& attr, double value,
+                      std::vector<std::uint64_t> stamp) {
+  ReceivedUpdate u;
+  u.delivered_at = t(delivered_ms);
+  u.reporter = reporter;
+  u.report.attribute = attr;
+  u.report.value = world::AttributeValue(value);
+  u.report.strobe_scalar = {stamp[reporter], reporter};
+  u.report.strobe_vector = clocks::VectorStamp(std::move(stamp));
+  u.report.true_sense_time = t(delivered_ms - 1);
+  return u;
+}
+
+TEST(IncrementalDetectorTest, FeedMatchesBatchRun) {
+  const auto phi = parse_predicate("p", "x[1] > 0 && x[2] > 0");
+  // A random-ish log with races and stale deliveries.
+  ObservationLog log;
+  log.num_processes = 3;
+  log.updates.push_back(update(10, 1, "x", 1.0, {0, 1, 0}));
+  log.updates.push_back(update(12, 2, "x", 1.0, {0, 0, 1}));  // race
+  log.updates.push_back(update(20, 1, "x", 0.0, {0, 2, 1}));
+  log.updates.push_back(update(25, 1, "x", 2.0, {0, 3, 1}));
+  log.updates.push_back(update(26, 1, "x", 1.0, {0, 2, 0}));  // stale
+  log.updates.push_back(update(30, 2, "x", 0.0, {0, 3, 2}));
+
+  const auto batch = StrobeVectorDetector().run(log, phi);
+
+  IncrementalStrobeVectorDetector incremental(phi);
+  std::vector<Detection> streamed;
+  for (std::size_t i = 0; i < log.updates.size(); ++i) {
+    if (auto d = incremental.feed(log.updates[i], i)) streamed.push_back(*d);
+  }
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].to_true, batch[i].to_true);
+    EXPECT_EQ(streamed[i].borderline, batch[i].borderline);
+    EXPECT_EQ(streamed[i].update_index, batch[i].update_index);
+    EXPECT_EQ(streamed[i].detected_at, batch[i].detected_at);
+  }
+}
+
+TEST(IncrementalDetectorTest, HoldingTracksTruthValue) {
+  const auto phi = parse_predicate("p", "x[1] > 0");
+  IncrementalStrobeVectorDetector det(phi);
+  EXPECT_FALSE(det.holding());
+  det.feed(update(10, 1, "x", 5.0, {0, 1}), 0);
+  EXPECT_TRUE(det.holding());
+  det.feed(update(20, 1, "x", 0.0, {0, 2}), 1);
+  EXPECT_FALSE(det.holding());
+}
+
+TEST(IncrementalDetectorTest, NoDetectionWithoutChange) {
+  const auto phi = parse_predicate("p", "x[1] > 10");
+  IncrementalStrobeVectorDetector det(phi);
+  EXPECT_FALSE(det.feed(update(10, 1, "x", 1.0, {0, 1}), 0).has_value());
+  EXPECT_FALSE(det.feed(update(20, 1, "x", 2.0, {0, 2}), 1).has_value());
+  EXPECT_TRUE(det.feed(update(30, 1, "x", 11.0, {0, 3}), 2).has_value());
+}
+
+TEST(IncrementalDetectorTest, StaleFeedIsIgnored) {
+  const auto phi = parse_predicate("p", "x[1] > 0");
+  IncrementalStrobeVectorDetector det(phi);
+  det.feed(update(10, 1, "x", 5.0, {0, 3}), 0);
+  // Older stamp with a falsifying value: must not fire a transition.
+  EXPECT_FALSE(det.feed(update(20, 1, "x", 0.0, {0, 2}), 1).has_value());
+  EXPECT_TRUE(det.holding());
+}
+
+TEST(IncrementalDetectorTest, MoveSemanticsPreserveState) {
+  const auto phi = parse_predicate("p", "x[1] > 0");
+  IncrementalStrobeVectorDetector a(phi);
+  a.feed(update(10, 1, "x", 5.0, {0, 1}), 0);
+  IncrementalStrobeVectorDetector b = std::move(a);
+  EXPECT_TRUE(b.holding());
+  // The moved-to detector continues the stream seamlessly.
+  const auto d = b.feed(update(20, 1, "x", 0.0, {0, 2}), 1);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->to_true);
+  EXPECT_EQ(b.predicate().name(), "p");
+}
+
+TEST(IncrementalDetectorTest, RandomLogStreamBatchEquivalence) {
+  // Property: for random logs, fold(feed) == batch, always.
+  const auto phi = parse_predicate("p", "sum(x) > 5");
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    ObservationLog log;
+    log.num_processes = 4;
+    std::vector<std::uint64_t> counts(4, 0);
+    for (int i = 0; i < 80; ++i) {
+      const auto pid = static_cast<ProcessId>(rng.uniform_int(1, 3));
+      counts[pid]++;
+      std::vector<std::uint64_t> stamp(4, 0);
+      for (std::size_t k = 0; k < 4; ++k) {
+        // Partially merged knowledge: anywhere from 0 to the true count.
+        stamp[k] = static_cast<std::uint64_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(counts[k])));
+      }
+      stamp[pid] = counts[pid];  // own component exact
+      log.updates.push_back(update(10 * (i + 1), pid, "x",
+                                   rng.uniform(0.0, 4.0), std::move(stamp)));
+    }
+    const auto batch = StrobeVectorDetector().run(log, phi);
+    IncrementalStrobeVectorDetector inc(phi);
+    std::vector<Detection> streamed;
+    for (std::size_t i = 0; i < log.updates.size(); ++i) {
+      if (auto d = inc.feed(log.updates[i], i)) streamed.push_back(*d);
+    }
+    ASSERT_EQ(streamed.size(), batch.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(streamed[i].update_index, batch[i].update_index);
+      EXPECT_EQ(streamed[i].borderline, batch[i].borderline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psn::core

@@ -1,0 +1,158 @@
+#include "core/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::core {
+namespace {
+
+GlobalState state_of(
+    std::initializer_list<std::pair<VarRef, double>> entries) {
+  GlobalState s;
+  for (const auto& [ref, v] : entries) s.set(ref, v);
+  return s;
+}
+
+TEST(ExprTest, ConstantsAndArithmetic) {
+  const GlobalState empty;
+  EXPECT_DOUBLE_EQ(constant(5.0)->evaluate(empty), 5.0);
+  EXPECT_DOUBLE_EQ((constant(2.0) + constant(3.0))->evaluate(empty), 5.0);
+  EXPECT_DOUBLE_EQ((constant(2.0) - constant(3.0))->evaluate(empty), -1.0);
+  EXPECT_DOUBLE_EQ((constant(2.0) * constant(3.0))->evaluate(empty), 6.0);
+  EXPECT_DOUBLE_EQ(
+      binary(BinaryOp::kDiv, constant(6.0), constant(3.0))->evaluate(empty),
+      2.0);
+}
+
+TEST(ExprTest, DivisionByZeroThrows) {
+  const GlobalState empty;
+  EXPECT_THROW(
+      binary(BinaryOp::kDiv, constant(1.0), constant(0.0))->evaluate(empty),
+      InvariantError);
+}
+
+TEST(ExprTest, VariablesReadState) {
+  const auto s = state_of({{{1, "x"}, 5.0}});
+  EXPECT_DOUBLE_EQ(var(1, "x")->evaluate(s), 5.0);
+  // Missing variable evaluates as 0 but is not "fully defined".
+  EXPECT_DOUBLE_EQ(var(2, "x")->evaluate(s), 0.0);
+  EXPECT_TRUE(var(1, "x")->is_fully_defined(s));
+  EXPECT_FALSE(var(2, "x")->is_fully_defined(s));
+}
+
+TEST(ExprTest, Comparisons) {
+  const auto s = state_of({{{1, "x"}, 5.0}});
+  EXPECT_TRUE((var(1, "x") > 4.0)->holds(s));
+  EXPECT_FALSE((var(1, "x") > 5.0)->holds(s));
+  EXPECT_TRUE((var(1, "x") >= 5.0)->holds(s));
+  EXPECT_TRUE((var(1, "x") < 6.0)->holds(s));
+  EXPECT_TRUE((var(1, "x") == 5.0)->holds(s));
+  EXPECT_TRUE(binary(BinaryOp::kNe, var(1, "x"), constant(4.0))->holds(s));
+  EXPECT_TRUE(binary(BinaryOp::kLe, var(1, "x"), constant(5.0))->holds(s));
+}
+
+TEST(ExprTest, LogicalOperators) {
+  const auto s = state_of({{{1, "x"}, 1.0}, {{2, "y"}, 0.0}});
+  EXPECT_FALSE((var(1, "x") && var(2, "y"))->holds(s));
+  EXPECT_TRUE((var(1, "x") || var(2, "y"))->holds(s));
+  EXPECT_TRUE(unary(UnaryOp::kNot, var(2, "y"))->holds(s));
+  EXPECT_FALSE(unary(UnaryOp::kNot, var(1, "x"))->holds(s));
+  EXPECT_DOUBLE_EQ(unary(UnaryOp::kNeg, var(1, "x"))->evaluate(s), -1.0);
+}
+
+TEST(ExprTest, LogicalResultIsBoolean01) {
+  const auto s = state_of({{{1, "x"}, 7.0}});
+  EXPECT_DOUBLE_EQ((var(1, "x") && var(1, "x"))->evaluate(s), 1.0);
+  EXPECT_DOUBLE_EQ((var(1, "x") || var(1, "x"))->evaluate(s), 1.0);
+}
+
+TEST(ExprTest, AggregatesOverProcesses) {
+  const auto s = state_of(
+      {{{1, "x"}, 3.0}, {{2, "x"}, 4.0}, {{5, "x"}, 5.0}, {{1, "y"}, 100.0}});
+  EXPECT_DOUBLE_EQ(aggregate(AggregateOp::kSum, "x")->evaluate(s), 12.0);
+  EXPECT_DOUBLE_EQ(aggregate(AggregateOp::kMin, "x")->evaluate(s), 3.0);
+  EXPECT_DOUBLE_EQ(aggregate(AggregateOp::kMax, "x")->evaluate(s), 5.0);
+  EXPECT_DOUBLE_EQ(aggregate(AggregateOp::kCount, "x")->evaluate(s), 3.0);
+}
+
+TEST(ExprTest, AggregateOverNothingIsZero) {
+  const GlobalState empty;
+  EXPECT_DOUBLE_EQ(aggregate(AggregateOp::kSum, "x")->evaluate(empty), 0.0);
+  EXPECT_FALSE(aggregate(AggregateOp::kSum, "x")->is_fully_defined(empty));
+}
+
+TEST(ExprTest, ExhibitionHallPredicateShape) {
+  // sum(entered) - sum(exited) > 200 — the paper's §5 predicate.
+  const auto phi =
+      (aggregate(AggregateOp::kSum, "entered") -
+       aggregate(AggregateOp::kSum, "exited")) > 200.0;
+  auto s = state_of({{{1, "entered"}, 150.0},
+                     {{2, "entered"}, 60.0},
+                     {{1, "exited"}, 5.0},
+                     {{2, "exited"}, 4.0}});
+  EXPECT_TRUE(phi->holds(s));  // 210 - 9 = 201 > 200
+  s.set({2, "exited"}, 5.0);
+  EXPECT_FALSE(phi->holds(s));  // exactly 200 is not > 200
+}
+
+TEST(ExprTest, CollectVarsExpandsAggregates) {
+  const auto s = state_of({{{1, "x"}, 1.0}, {{2, "x"}, 2.0}});
+  std::set<VarRef> vars;
+  (aggregate(AggregateOp::kSum, "x") + var(3, "y"))->collect_vars(s, vars);
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_TRUE(vars.contains(VarRef{1, "x"}));
+  EXPECT_TRUE(vars.contains(VarRef{2, "x"}));
+  EXPECT_TRUE(vars.contains(VarRef{3, "y"}));
+}
+
+TEST(ExprTest, ToStringRoundTripShape) {
+  const auto e = (var(1, "temp") > 30.0) && var(2, "occupied");
+  EXPECT_EQ(e->to_string(), "((temp[1] > 30) && occupied[2])");
+}
+
+TEST(PredicateTest, ConjunctiveClassification) {
+  // Paper §3.1.2: ψ = (x_i = 5) ∧ (y_j > 7) is conjunctive...
+  const Predicate psi("psi", (var(1, "x") == 5.0) && (var(2, "y") > 7.0));
+  EXPECT_TRUE(psi.is_conjunctive());
+  // ...while φ = x_i + y_j > 7 is relational.
+  const Predicate phi("phi", (var(1, "x") + var(2, "y")) > 7.0);
+  EXPECT_FALSE(phi.is_conjunctive());
+}
+
+TEST(PredicateTest, AggregateMakesRelational) {
+  const Predicate p("p", aggregate(AggregateOp::kSum, "x") > 1.0);
+  EXPECT_FALSE(p.is_conjunctive());
+}
+
+TEST(PredicateTest, MultiConjunctsSameProcessStayConjunctive) {
+  const Predicate p("p", ((var(1, "temp") > 30.0) && (var(1, "hum") < 40.0)) &&
+                             var(2, "occ"));
+  EXPECT_TRUE(p.is_conjunctive());
+  const auto locals = p.local_conjuncts();
+  EXPECT_EQ(locals.at(1).size(), 2u);
+  EXPECT_EQ(locals.at(2).size(), 1u);
+}
+
+TEST(PredicateTest, LocalConjunctsRequireConjunctive) {
+  const Predicate p("p", (var(1, "x") + var(2, "y")) > 7.0);
+  EXPECT_THROW(p.local_conjuncts(), InvariantError);
+}
+
+TEST(PredicateTest, DisjunctionAcrossProcessesIsOneConjunct) {
+  // (x[1] > 0 || y[2] > 0) spans two processes inside one conjunct →
+  // not conjunctive.
+  const Predicate p("p", (var(1, "x") > 0.0) || (var(2, "y") > 0.0));
+  EXPECT_FALSE(p.is_conjunctive());
+}
+
+TEST(GlobalStateTest, VarsNamed) {
+  const auto s = state_of({{{1, "x"}, 1.0}, {{3, "x"}, 2.0}, {{1, "y"}, 3.0}});
+  const auto xs = s.vars_named("x");
+  EXPECT_EQ(xs.size(), 2u);
+  EXPECT_EQ(s.vars_named("z").size(), 0u);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+}  // namespace
+}  // namespace psn::core

@@ -1,0 +1,219 @@
+// Integration tests of the assembled ⟨P, L, O, C⟩ system: world events flow
+// to assigned sensors, strobes reach the root, clock invariants hold across
+// a full simulated run.
+
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/execution_view.hpp"
+#include "core/predicate_parser.hpp"
+#include "world/generators.hpp"
+
+namespace psn::core {
+namespace {
+
+using namespace psn::time_literals;
+
+SystemConfig base_config(std::size_t sensors, Duration delta,
+                         std::uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.num_sensors = sensors;
+  cfg.sim.seed = seed;
+  cfg.sim.horizon = SimTime::zero() + 20_s;
+  cfg.delta = delta;
+  return cfg;
+}
+
+/// Attaches periodic counter drivers, one world object per sensor.
+void attach_counters(PervasiveSystem& system, Duration period,
+                     std::vector<std::unique_ptr<world::AttributeDriver>>& keep) {
+  for (ProcessId pid = 1; pid < system.num_processes(); ++pid) {
+    const auto obj =
+        system.world().create_object("obj_" + std::to_string(pid));
+    system.world().object(obj).set_attribute("count", std::int64_t{0});
+    system.assign(obj, "count", pid);
+    keep.push_back(std::make_unique<world::AttributeDriver>(
+        system.world(), obj, "count",
+        std::make_unique<world::PeriodicArrivals>(period,
+                                                  Duration::millis(50)),
+        std::make_unique<world::CounterValue>(),
+        system.sim().rng_for("driver", pid)));
+    keep.back()->start();
+  }
+}
+
+TEST(SystemIntegrationTest, EveryAssignedWorldEventIsSensedAndReported) {
+  PervasiveSystem system(base_config(3, 50_ms));
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  attach_counters(system, 1_s, drivers);
+  system.run();
+
+  const std::size_t world_events = system.timeline().size();
+  EXPECT_GT(world_events, 30u);
+
+  // Each sensor recorded one sense event per its world events.
+  std::size_t sense_events = 0;
+  for (const auto* events : system.sensor_executions()) {
+    for (const auto& e : *events) {
+      if (e.type == EventType::kSense) sense_events++;
+    }
+  }
+  EXPECT_EQ(sense_events, world_events);
+
+  // The root received one report per sense event (lossless, bounded delay,
+  // horizon leaves a small tail in flight at most).
+  EXPECT_LE(system.log().updates.size(), sense_events);
+  EXPECT_GE(system.log().updates.size(), sense_events - 3);
+}
+
+TEST(SystemIntegrationTest, RootLogIsInDeliveryOrder) {
+  PervasiveSystem system(base_config(4, 200_ms));
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  attach_counters(system, 500_ms, drivers);
+  system.run();
+  const auto& updates = system.log().updates;
+  ASSERT_GT(updates.size(), 10u);
+  for (std::size_t i = 1; i < updates.size(); ++i) {
+    EXPECT_GE(updates[i].delivered_at, updates[i - 1].delivered_at);
+  }
+}
+
+TEST(SystemIntegrationTest, StrobeTrafficNeverTicksCausalClocks) {
+  // The paper's §4.2 separation at system scale: with no computation
+  // messages, each sensor's causal vector clock must count ONLY its own
+  // events — all components for other processes stay 0 even though strobes
+  // flew everywhere.
+  PervasiveSystem system(base_config(3, 50_ms));
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  attach_counters(system, 1_s, drivers);
+  system.run();
+
+  for (const auto* events : system.sensor_executions()) {
+    ASSERT_FALSE(events->empty());
+    const auto& last = events->back();
+    for (std::size_t j = 0; j < last.clocks.causal_vector.size(); ++j) {
+      if (j == last.pid) {
+        EXPECT_EQ(last.clocks.causal_vector[j], events->size());
+      } else {
+        EXPECT_EQ(last.clocks.causal_vector[j], 0u)
+            << "strobe traffic leaked into the causal clock";
+      }
+    }
+    // The strobe vector, by contrast, must have heard of the others.
+    std::uint64_t heard = 0;
+    for (std::size_t j = 0; j < last.clocks.strobe_vector.size(); ++j) {
+      if (j != last.pid) heard += last.clocks.strobe_vector[j];
+    }
+    EXPECT_GT(heard, 0u);
+  }
+}
+
+TEST(SystemIntegrationTest, ComputationMessagesDriveCausalClocks) {
+  PervasiveSystem system(base_config(2, 10_ms));
+  // P1 sends a computation message to P2 at t=1s.
+  system.sim().scheduler().schedule_at(SimTime::zero() + 1_s, [&] {
+    system.sensor(1).send_computation(2, "hello");
+  });
+  system.run();
+
+  // P2 recorded a receive event whose causal vector includes P1's send.
+  const auto& p2_events = *system.sensor_executions()[1];
+  ASSERT_EQ(p2_events.size(), 1u);
+  EXPECT_EQ(p2_events[0].type, EventType::kReceive);
+  EXPECT_EQ(p2_events[0].clocks.causal_vector[1], 1u);  // P1's send seen
+  EXPECT_EQ(p2_events[0].clocks.causal_vector[2], 1u);  // own tick
+  EXPECT_GT(p2_events[0].clocks.lamport.value, 1u);
+}
+
+TEST(SystemIntegrationTest, SameSeedIsBitIdentical) {
+  auto run_once = [](std::uint64_t seed) {
+    PervasiveSystem system(base_config(3, 100_ms, seed));
+    std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+    attach_counters(system, 700_ms, drivers);
+    system.run();
+    std::vector<std::pair<std::int64_t, ProcessId>> trace;
+    for (const auto& u : system.log().updates) {
+      trace.emplace_back(u.delivered_at.count_nanos(), u.reporter);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(run_once(77), run_once(78));
+}
+
+TEST(SystemIntegrationTest, DeltaBoundScalesWithTopologyDiameter) {
+  SystemConfig cfg = base_config(4, 100_ms);
+  cfg.topology = TopologyKind::kComplete;
+  EXPECT_EQ(PervasiveSystem(cfg).delta_bound(), 100_ms);
+  cfg.topology = TopologyKind::kLine;  // 5 processes in a line: diameter 4
+  EXPECT_EQ(PervasiveSystem(cfg).delta_bound(), 400_ms);
+  cfg.delay_kind = DelayKind::kExponential;
+  EXPECT_EQ(PervasiveSystem(cfg).delta_bound(), Duration::max());
+}
+
+TEST(SystemIntegrationTest, SynchronousDeltaZeroDelivery) {
+  SystemConfig cfg = base_config(2, Duration::zero());
+  cfg.delay_kind = DelayKind::kSynchronous;
+  PervasiveSystem system(cfg);
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  attach_counters(system, 1_s, drivers);
+  system.run();
+  for (const auto& u : system.log().updates) {
+    EXPECT_EQ(u.delivered_at, u.report.true_sense_time);
+  }
+}
+
+TEST(SystemIntegrationTest, LossReducesDeliveredReports) {
+  SystemConfig cfg = base_config(2, 50_ms, 5);
+  cfg.loss_probability = 0.5;
+  PervasiveSystem lossy(cfg);
+  std::vector<std::unique_ptr<world::AttributeDriver>> d1;
+  attach_counters(lossy, 200_ms, d1);
+  lossy.run();
+
+  SystemConfig clean_cfg = base_config(2, 50_ms, 5);
+  PervasiveSystem clean(clean_cfg);
+  std::vector<std::unique_ptr<world::AttributeDriver>> d2;
+  attach_counters(clean, 200_ms, d2);
+  clean.run();
+
+  EXPECT_LT(lossy.log().updates.size(), clean.log().updates.size() * 3 / 4);
+  EXPECT_GT(lossy.message_stats().of(net::MessageKind::kStrobe).dropped, 0u);
+}
+
+TEST(SystemIntegrationTest, ExecutionViewsAlignWithClockComponents) {
+  PervasiveSystem system(base_config(2, 50_ms));
+  std::vector<std::unique_ptr<world::AttributeDriver>> drivers;
+  attach_counters(system, 1_s, drivers);
+  system.run();
+
+  const auto strobe_view = ExecutionView::from_strobe_stamps(system);
+  ASSERT_EQ(strobe_view.num_processes(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto& events = strobe_view.events(p);
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      // Own component of the k-th sense event's strobe stamp is k+1.
+      EXPECT_EQ(events[k].stamp[strobe_view.pid(p)], k + 1);
+    }
+  }
+  // The final (complete) cut must be consistent.
+  EXPECT_TRUE(strobe_view.consistent(strobe_view.final_cut()));
+
+  const auto causal_view = ExecutionView::from_causal_stamps(system);
+  EXPECT_TRUE(causal_view.consistent(causal_view.final_cut()));
+}
+
+TEST(SystemIntegrationTest, AssignValidation) {
+  PervasiveSystem system(base_config(2, 50_ms));
+  const auto obj = system.world().create_object("o");
+  EXPECT_THROW(system.assign(obj, "x", 0), InvariantError);   // root senses nothing
+  EXPECT_THROW(system.assign(obj, "x", 9), InvariantError);   // no such sensor
+  system.assign(obj, "x", 1);
+  EXPECT_THROW(system.assign(obj, "x", 2), InvariantError);   // double assign
+  EXPECT_THROW(system.sensor(0), InvariantError);
+  EXPECT_THROW(PervasiveSystem(base_config(0, 50_ms)), InvariantError);
+}
+
+}  // namespace
+}  // namespace psn::core

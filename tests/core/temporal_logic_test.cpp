@@ -1,0 +1,204 @@
+#include "core/temporal_logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::core::mtl {
+namespace {
+
+using namespace psn::time_literals;
+
+SimTime t(std::int64_t ms) { return SimTime::zero() + Duration::millis(ms); }
+const SimTime kHorizon = t(1000);
+
+BoolSignal sig(std::initializer_list<std::pair<std::int64_t, std::int64_t>>
+                   true_intervals) {
+  std::vector<Occurrence> xs;
+  for (const auto& [b, e] : true_intervals) xs.push_back({t(b), t(e)});
+  return BoolSignal::from_intervals(std::move(xs), kHorizon);
+}
+
+TEST(BoolSignalTest, ConstructionFromTransitions) {
+  std::vector<Transition> trs = {{t(100), true, 0}, {t(300), false, 0},
+                                 {t(700), true, 0}};
+  BoolSignal s(false, trs, kHorizon);
+  EXPECT_FALSE(s.value_at(t(0)));
+  EXPECT_TRUE(s.value_at(t(100)));
+  EXPECT_TRUE(s.value_at(t(299)));
+  EXPECT_FALSE(s.value_at(t(300)));
+  EXPECT_TRUE(s.value_at(t(999)));  // open at horizon
+  ASSERT_EQ(s.true_intervals().size(), 2u);
+  EXPECT_NEAR(s.fraction_true(), 0.5, 1e-9);
+}
+
+TEST(BoolSignalTest, InitialValueRespected) {
+  BoolSignal s(true, {{t(400), false, 0}}, kHorizon);
+  EXPECT_TRUE(s.value_at(t(0)));
+  EXPECT_FALSE(s.value_at(t(400)));
+  EXPECT_NEAR(s.fraction_true(), 0.4, 1e-9);
+}
+
+TEST(BoolSignalTest, FromOracleMatchesOracle) {
+  OracleResult oracle;
+  oracle.transitions = {{t(200), true, 0}, {t(500), false, 0}};
+  const auto s = BoolSignal::from_oracle(oracle, kHorizon);
+  EXPECT_FALSE(s.value_at(t(100)));
+  EXPECT_TRUE(s.value_at(t(350)));
+  EXPECT_FALSE(s.value_at(t(600)));
+}
+
+TEST(BoolSignalTest, ConstantsAndQueries) {
+  const auto yes = BoolSignal::constant(true, kHorizon);
+  const auto no = BoolSignal::constant(false, kHorizon);
+  EXPECT_TRUE(yes.always());
+  EXPECT_TRUE(yes.ever());
+  EXPECT_FALSE(no.ever());
+  EXPECT_FALSE(no.always());
+  EXPECT_DOUBLE_EQ(yes.fraction_true(), 1.0);
+}
+
+TEST(BoolSignalTest, OverlappingIntervalsNormalized) {
+  const auto s = sig({{100, 300}, {200, 400}, {400, 500}});
+  ASSERT_EQ(s.true_intervals().size(), 1u);  // merged into [100, 500)
+  EXPECT_EQ(s.true_intervals()[0].begin, t(100));
+  EXPECT_EQ(s.true_intervals()[0].end, t(500));
+}
+
+TEST(BoolSignalTest, SampleOutsideDomainThrows) {
+  const auto s = sig({});
+  EXPECT_THROW((void)s.value_at(kHorizon), InvariantError);
+}
+
+TEST(BoolSignalTest, Negation) {
+  const auto s = sig({{100, 300}});
+  const auto ns = !s;
+  EXPECT_TRUE(ns.value_at(t(0)));
+  EXPECT_FALSE(ns.value_at(t(200)));
+  EXPECT_TRUE(ns.value_at(t(500)));
+  EXPECT_NEAR(ns.fraction_true(), 0.8, 1e-9);
+  // Double negation is identity.
+  const auto nns = !ns;
+  EXPECT_EQ(nns.true_intervals().size(), 1u);
+  EXPECT_EQ(nns.true_intervals()[0].begin, t(100));
+}
+
+TEST(BoolSignalTest, AndOr) {
+  const auto a = sig({{100, 400}});
+  const auto b = sig({{300, 600}});
+  const auto both = a && b;
+  ASSERT_EQ(both.true_intervals().size(), 1u);
+  EXPECT_EQ(both.true_intervals()[0].begin, t(300));
+  EXPECT_EQ(both.true_intervals()[0].end, t(400));
+  const auto either = a || b;
+  ASSERT_EQ(either.true_intervals().size(), 1u);
+  EXPECT_EQ(either.true_intervals()[0].begin, t(100));
+  EXPECT_EQ(either.true_intervals()[0].end, t(600));
+}
+
+TEST(BoolSignalTest, DeMorgan) {
+  const auto a = sig({{50, 200}, {600, 800}});
+  const auto b = sig({{150, 700}});
+  const auto lhs = !(a && b);
+  const auto rhs = (!a) || (!b);
+  for (std::int64_t ms = 0; ms < 1000; ms += 7) {
+    EXPECT_EQ(lhs.value_at(t(ms)), rhs.value_at(t(ms))) << ms;
+  }
+}
+
+TEST(MtlTest, EventuallyShiftsBackward) {
+  // φ true on [500, 600); F[0, 100] φ true on [400, 600).
+  const auto s = sig({{500, 600}});
+  const auto f = s.eventually(0_ms, 100_ms);
+  ASSERT_EQ(f.true_intervals().size(), 1u);
+  EXPECT_EQ(f.true_intervals()[0].begin, t(400));
+  EXPECT_EQ(f.true_intervals()[0].end, t(600));
+}
+
+TEST(MtlTest, EventuallyWithLowerBound) {
+  // F[100, 200] φ with φ on [500, 600): true iff [t+100, t+200] hits it:
+  // t ∈ [300, 500).
+  const auto s = sig({{500, 600}});
+  const auto f = s.eventually(100_ms, 200_ms);
+  ASSERT_EQ(f.true_intervals().size(), 1u);
+  EXPECT_EQ(f.true_intervals()[0].begin, t(300));
+  EXPECT_EQ(f.true_intervals()[0].end, t(500));
+}
+
+TEST(MtlTest, AlwaysWithin) {
+  // G[0, 100] φ with φ on [200, 500): need [t, t+100] ⊆ φ: t ∈ [200, 400).
+  const auto s = sig({{200, 500}});
+  const auto g = s.always_within(0_ms, 100_ms);
+  ASSERT_EQ(g.true_intervals().size(), 1u);
+  EXPECT_EQ(g.true_intervals()[0].begin, t(200));
+  // The closed [t, t+100] sample at t=400 includes 500 — outside φ.
+  EXPECT_EQ(g.true_intervals()[0].end, t(400));
+}
+
+TEST(MtlTest, EventuallyAlwaysDuality) {
+  const auto s = sig({{120, 380}, {700, 910}});
+  const auto lhs = s.always_within(0_ms, 50_ms);
+  const auto rhs = !((!s).eventually(0_ms, 50_ms));
+  for (std::int64_t ms = 0; ms < 1000; ms += 3) {
+    EXPECT_EQ(lhs.value_at(t(ms)), rhs.value_at(t(ms))) << ms;
+  }
+}
+
+TEST(MtlTest, Until) {
+  // φ on [100, 400), ψ on [300, 350): φ U ψ from 100 (φ carries into ψ)
+  // through the end of ψ.
+  const auto phi = sig({{100, 400}});
+  const auto psi = sig({{300, 350}});
+  const auto u = phi.until(psi);
+  EXPECT_FALSE(u.value_at(t(50)));
+  EXPECT_TRUE(u.value_at(t(100)));
+  EXPECT_TRUE(u.value_at(t(250)));
+  EXPECT_TRUE(u.value_at(t(340)));   // ψ holds now
+  EXPECT_FALSE(u.value_at(t(360)));  // ψ over, no future ψ reachable via φ
+}
+
+TEST(MtlTest, UntilRequiresPhiCoverage) {
+  // Gap in φ before ψ: times before the gap must not satisfy the until.
+  const auto phi = sig({{100, 200}, {250, 400}});
+  const auto psi = sig({{300, 320}});
+  const auto u = phi.until(psi);
+  EXPECT_FALSE(u.value_at(t(150)));  // φ breaks at 200 before ψ at 300
+  EXPECT_TRUE(u.value_at(t(260)));
+}
+
+TEST(MtlTest, RespondsWithin) {
+  // Trigger episodes at [100,150) and [500,550); responses at 180 and 590.
+  const auto trigger = sig({{100, 150}, {500, 550}});
+  const auto response = sig({{180, 190}, {590, 600}});
+  EXPECT_TRUE(responds_within(trigger, response, 100_ms));
+  // A 30 ms deadline misses the first response (at 180, trigger from 100).
+  EXPECT_FALSE(responds_within(trigger, response, 30_ms));
+}
+
+TEST(MtlTest, RespondsWithinNoResponder) {
+  const auto trigger = sig({{100, 150}});
+  const auto response = sig({});
+  EXPECT_FALSE(responds_within(trigger, response, 1_s));
+  EXPECT_TRUE(responds_within(sig({}), response, 1_s));  // vacuous
+}
+
+TEST(MtlTest, NeverInvariant) {
+  EXPECT_TRUE(never(sig({})));
+  EXPECT_FALSE(never(sig({{1, 2}})));
+}
+
+TEST(MtlTest, ThermostatSpecificationShape) {
+  // The paper-flavored rule: G(hot-onset → F[0, 100ms] reset). The response
+  // property is per-instant, so the trigger is the *onset pulse* of each
+  // hot episode (the became-true edge a detector emits).
+  const auto hot_onset = sig({{100, 110}, {600, 610}});
+  const auto reset_ok = sig({{180, 190}, {690, 700}});
+  EXPECT_TRUE(responds_within(hot_onset, reset_ok, 100_ms));
+  // A 50 ms deadline misses both resets.
+  EXPECT_FALSE(responds_within(hot_onset, reset_ok, 50_ms));
+  const auto reset_missing_second = sig({{180, 190}});
+  EXPECT_FALSE(responds_within(hot_onset, reset_missing_second, 100_ms));
+}
+
+}  // namespace
+}  // namespace psn::core::mtl

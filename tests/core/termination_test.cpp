@@ -1,0 +1,243 @@
+// Dijkstra–Safra termination detection: unit behavior plus an end-to-end
+// property over the simulated transport — termination is announced exactly
+// when the diffusing computation has quiesced (no actives, nothing in
+// flight), never before (safety) and always eventually (liveness).
+
+#include "core/termination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "sim/simulation.hpp"
+
+namespace psn::core {
+namespace {
+
+using namespace psn::time_literals;
+using Token = SafraParticipant::Token;
+
+TEST(SafraUnitTest, SingleProcessTerminatesWhenPassive) {
+  bool announced = false;
+  SafraParticipant p(0, 1, [](ProcessId, const Token&) {},
+                     [&] { announced = true; });
+  p.set_active(true);
+  p.initiate_probe();
+  EXPECT_FALSE(announced);  // still active
+  p.set_active(false);
+  p.initiate_probe();
+  EXPECT_TRUE(announced);
+  EXPECT_TRUE(p.terminated());
+}
+
+TEST(SafraUnitTest, TokenHeldWhileActive) {
+  std::vector<std::pair<ProcessId, Token>> forwards;
+  SafraParticipant p(1, 3, [&](ProcessId to, const Token& t) {
+    forwards.emplace_back(to, t);
+  });
+  p.set_active(true);
+  p.on_token(Token{});
+  EXPECT_TRUE(forwards.empty());  // held until passive
+  p.set_active(false);
+  ASSERT_EQ(forwards.size(), 1u);
+  EXPECT_EQ(forwards[0].first, 0u);  // ring goes toward the initiator
+}
+
+TEST(SafraUnitTest, ReceiveBlackensAndBalances) {
+  std::vector<Token> seen;
+  SafraParticipant p(2, 3, [&](ProcessId, const Token& t) {
+    seen.push_back(t);
+  });
+  p.on_app_receive();  // balance −1, blackened
+  p.on_token(Token{});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_TRUE(seen[0].black);
+  EXPECT_EQ(seen[0].count, -1);
+  // The process whitened itself after forwarding.
+  p.on_token(Token{});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_FALSE(seen[1].black);
+}
+
+TEST(SafraUnitTest, SendsIncreaseBalance) {
+  std::vector<Token> seen;
+  SafraParticipant p(1, 2, [&](ProcessId, const Token& t) {
+    seen.push_back(t);
+  });
+  p.on_app_send();
+  p.on_app_send();
+  p.on_token(Token{});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].count, 2);
+  EXPECT_FALSE(seen[0].black);
+}
+
+TEST(SafraUnitTest, InitiatorRejectsBlackToken) {
+  std::vector<Token> forwards;
+  bool announced = false;
+  SafraParticipant init(0, 2, [&](ProcessId, const Token& t) {
+    forwards.push_back(t);
+  }, [&] { announced = true; });
+  Token black;
+  black.black = true;
+  init.on_token(black);
+  EXPECT_FALSE(announced);
+  // A new (white) round was started instead.
+  ASSERT_EQ(forwards.size(), 1u);
+  EXPECT_FALSE(forwards[0].black);
+  EXPECT_EQ(forwards[0].count, 0);
+}
+
+TEST(SafraUnitTest, OnlyInitiatorMayProbe) {
+  SafraParticipant p(1, 2, [](ProcessId, const Token&) {});
+  EXPECT_THROW(p.initiate_probe(), InvariantError);
+}
+
+// ---- end-to-end diffusing computation over the transport ----
+
+/// Workers forward "work units" randomly; each unit takes simulated time to
+/// process; processing may spawn more units with decaying probability, so
+/// the computation provably quiesces.
+class DiffusingComputation {
+ public:
+  DiffusingComputation(std::size_t n, std::uint64_t seed)
+      : sim_([] {
+          sim::SimConfig cfg;
+          cfg.horizon = SimTime::zero() + 600_s;
+          return cfg;
+        }()),
+        transport_(sim_, net::Overlay::complete(n),
+                   std::make_unique<net::UniformBoundedDelay>(5_ms, 50_ms),
+                   std::make_unique<net::NoLoss>(), Rng(seed)),
+        rng_(seed + 7),
+        n_(n) {
+    pending_.assign(n, 0);
+    for (ProcessId p = 0; p < n; ++p) {
+      participants_.push_back(std::make_unique<SafraParticipant>(
+          p, n, [this, p](ProcessId to, const Token& t) { send_token(p, to, t); },
+          p == 0 ? SafraParticipant::AnnounceFn([this] {
+            announced_at_ = sim_.now();
+            live_at_announce_ = total_pending() + in_flight_;
+          })
+                 : SafraParticipant::AnnounceFn{}));
+      transport_.register_handler(
+          p, [this, p](const net::Message& msg) { deliver(p, msg); });
+    }
+  }
+
+  void run(int initial_units) {
+    for (int k = 0; k < initial_units; ++k) {
+      enqueue_work(0, /*depth=*/0);
+    }
+    // Kick the probe after the initial burst is underway.
+    sim_.scheduler().schedule_at(SimTime::zero() + 100_ms, [this] {
+      participants_[0]->initiate_probe();
+    });
+    sim_.run();
+  }
+
+  bool announced() const { return announced_at_.has_value(); }
+  std::int64_t live_at_announce() const { return live_at_announce_; }
+  std::size_t units_processed() const { return processed_; }
+
+ private:
+  std::int64_t total_pending() const {
+    std::int64_t total = 0;
+    for (const auto p : pending_) total += p;
+    return total;
+  }
+
+  void enqueue_work(ProcessId at, int depth) {
+    pending_[at]++;
+    participants_[at]->set_active(true);
+    // Process the unit after some simulated work time.
+    sim_.scheduler().schedule_after(
+        Duration::millis(rng_.uniform_int(5, 40)),
+        [this, at, depth] { process(at, depth); });
+  }
+
+  void process(ProcessId at, int depth) {
+    processed_++;
+    // Spawn 0–2 further units at random peers with decaying probability.
+    const double spawn_p = depth > 8 ? 0.0 : 0.55 / (1.0 + 0.25 * depth);
+    for (int s = 0; s < 2; ++s) {
+      if (!rng_.bernoulli(spawn_p)) continue;
+      auto to = static_cast<ProcessId>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n_) - 1));
+      if (to == at) to = static_cast<ProcessId>((to + 1) % n_);
+      participants_[at]->on_app_send();
+      in_flight_++;
+      net::Message msg;
+      msg.src = at;
+      msg.dst = to;
+      msg.kind = net::MessageKind::kComputation;
+      net::ComputationPayload payload;
+      payload.stamps.causal_vector = clocks::VectorStamp(n_);
+      payload.tag = "work:" + std::to_string(depth + 1);
+      msg.payload = payload;
+      transport_.unicast(std::move(msg));
+    }
+    pending_[at]--;
+    if (pending_[at] == 0) participants_[at]->set_active(false);
+  }
+
+  void send_token(ProcessId from, ProcessId to, const Token& t) {
+    net::Message msg;
+    msg.src = from;
+    msg.dst = to;
+    msg.kind = net::MessageKind::kComputation;
+    net::ComputationPayload payload;
+    payload.stamps.causal_vector = clocks::VectorStamp(n_);
+    payload.tag = "token:" + std::to_string(t.count) + ":" +
+                  (t.black ? "b" : "w");
+    msg.payload = payload;
+    transport_.unicast(std::move(msg));
+  }
+
+  void deliver(ProcessId self, const net::Message& msg) {
+    const std::string& tag = msg.computation().tag;
+    if (tag.starts_with("token:")) {
+      const auto second = tag.find(':', 6);
+      Token t;
+      t.count = std::stoll(tag.substr(6, second - 6));
+      t.black = tag[second + 1] == 'b';
+      participants_[self]->on_token(t);
+      return;
+    }
+    in_flight_--;
+    participants_[self]->on_app_receive();
+    const int depth = std::stoi(tag.substr(tag.find(':') + 1));
+    enqueue_work(self, depth);
+  }
+
+  sim::Simulation sim_;
+  net::Transport transport_;
+  Rng rng_;
+  std::size_t n_;
+  std::vector<std::int64_t> pending_;
+  std::vector<std::unique_ptr<SafraParticipant>> participants_;
+  std::size_t processed_ = 0;
+  std::int64_t in_flight_ = 0;
+  std::optional<SimTime> announced_at_;
+  std::int64_t live_at_announce_ = -1;
+};
+
+class SafraEndToEndTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafraEndToEndTest, AnnouncesExactlyAtQuiescence) {
+  DiffusingComputation comp(4, GetParam());
+  comp.run(/*initial_units=*/6);
+  ASSERT_TRUE(comp.announced()) << "liveness: termination never detected";
+  // Safety: at announcement, no pending work and nothing in flight.
+  EXPECT_EQ(comp.live_at_announce(), 0);
+  EXPECT_GE(comp.units_processed(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafraEndToEndTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace psn::core

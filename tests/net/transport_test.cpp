@@ -1,0 +1,155 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace psn::net {
+namespace {
+
+using namespace psn::time_literals;
+
+struct Fixture {
+  explicit Fixture(Overlay overlay,
+                   std::unique_ptr<DelayModel> delay =
+                       std::make_unique<FixedDelay>(Duration::millis(10)),
+                   std::unique_ptr<LossModel> loss = std::make_unique<NoLoss>())
+      : sim([] {
+          sim::SimConfig cfg;
+          cfg.horizon = SimTime::zero() + 100_s;
+          return cfg;
+        }()),
+        transport(sim, std::move(overlay), std::move(delay), std::move(loss),
+                  Rng(7)) {
+    for (ProcessId p = 0; p < transport.overlay().size(); ++p) {
+      transport.register_handler(p, [this, p](const Message& msg) {
+        deliveries.push_back({p, msg});
+      });
+    }
+  }
+
+  Message computation(ProcessId src, ProcessId dst) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.kind = MessageKind::kComputation;
+    ComputationPayload payload;
+    payload.stamps.causal_vector = clocks::VectorStamp(transport.overlay().size());
+    payload.tag = "t";
+    m.payload = payload;
+    return m;
+  }
+
+  sim::Simulation sim;
+  Transport transport;
+  std::vector<std::pair<ProcessId, Message>> deliveries;
+};
+
+TEST(TransportTest, UnicastDeliversAfterDelay) {
+  Fixture f(Overlay::complete(3));
+  f.transport.unicast(f.computation(0, 2));
+  EXPECT_TRUE(f.deliveries.empty());  // not synchronous
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].first, 2u);
+  EXPECT_EQ(f.deliveries[0].second.delivered_at, SimTime::zero() + 10_ms);
+  EXPECT_EQ(f.deliveries[0].second.sent_at, SimTime::zero());
+}
+
+TEST(TransportTest, BroadcastReachesAllOthers) {
+  Fixture f(Overlay::complete(5));
+  f.transport.broadcast(f.computation(2, kNoProcess));
+  f.sim.run();
+  EXPECT_EQ(f.deliveries.size(), 4u);
+  for (const auto& [pid, msg] : f.deliveries) {
+    EXPECT_NE(pid, 2u);
+    EXPECT_EQ(msg.dst, pid);
+  }
+}
+
+TEST(TransportTest, MultiHopDelayScalesWithDistance) {
+  Fixture f(Overlay::line(4));  // 0-1-2-3
+  f.transport.unicast(f.computation(0, 3));
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].second.delivered_at,
+            SimTime::zero() + 30_ms);  // 3 hops x 10 ms
+}
+
+TEST(TransportTest, UnreachableDestinationCounted) {
+  Overlay disconnected(3);
+  disconnected.add_edge(0, 1);  // node 2 isolated
+  Fixture f(std::move(disconnected));
+  f.transport.unicast(f.computation(0, 2));
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.transport.stats().of(MessageKind::kComputation).unreachable, 1u);
+}
+
+TEST(TransportTest, LossDropsAndCounts) {
+  Fixture f(Overlay::complete(2), std::make_unique<FixedDelay>(1_ms),
+            std::make_unique<BernoulliLoss>(1.0));
+  f.transport.unicast(f.computation(0, 1));
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  const auto& ks = f.transport.stats().of(MessageKind::kComputation);
+  EXPECT_EQ(ks.sent, 1u);
+  EXPECT_EQ(ks.dropped, 1u);
+  EXPECT_EQ(ks.delivered, 0u);
+}
+
+TEST(TransportTest, StatsAccounting) {
+  Fixture f(Overlay::complete(3));
+  f.transport.broadcast(f.computation(0, kNoProcess));
+  f.transport.unicast(f.computation(1, 2));
+  f.sim.run();
+  const auto& ks = f.transport.stats().of(MessageKind::kComputation);
+  EXPECT_EQ(ks.sent, 3u);
+  EXPECT_EQ(ks.delivered, 3u);
+  EXPECT_GT(ks.bytes_sent, 0u);
+  EXPECT_EQ(f.transport.stats().total_sent(), 3u);
+  EXPECT_EQ(f.transport.stats().total_bytes(), ks.bytes_sent);
+}
+
+TEST(TransportTest, SelfAddressedRejected) {
+  Fixture f(Overlay::complete(2));
+  EXPECT_THROW(f.transport.unicast(f.computation(1, 1)), InvariantError);
+}
+
+TEST(TransportTest, OutOfRangeEndpointsRejected) {
+  Fixture f(Overlay::complete(2));
+  EXPECT_THROW(f.transport.unicast(f.computation(0, 9)), InvariantError);
+}
+
+TEST(TransportTest, SynchronousDeliveryAtSameInstant) {
+  Fixture f(Overlay::complete(2), std::make_unique<SynchronousDelay>());
+  f.transport.unicast(f.computation(0, 1));
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].second.delivered_at, SimTime::zero());
+}
+
+TEST(WireBytesTest, SenseReportModesOrdered) {
+  SenseReportPayload p;
+  p.strobe_vector = clocks::VectorStamp(8);
+  // physical < scalar < vector for n > 1.
+  EXPECT_LT(p.wire_bytes_physical_mode(), p.wire_bytes_scalar_mode());
+  EXPECT_LT(p.wire_bytes_scalar_mode(), p.wire_bytes_vector_mode());
+  // Vector mode grows linearly with n.
+  SenseReportPayload big;
+  big.strobe_vector = clocks::VectorStamp(16);
+  EXPECT_EQ(big.wire_bytes_vector_mode() - p.wire_bytes_vector_mode(),
+            8u * 8u);
+}
+
+TEST(WireBytesTest, MessageKindNames) {
+  EXPECT_STREQ(to_string(MessageKind::kStrobe), "strobe");
+  EXPECT_STREQ(to_string(MessageKind::kComputation), "computation");
+  EXPECT_STREQ(to_string(MessageKind::kSync), "sync");
+  EXPECT_STREQ(to_string(MessageKind::kActuation), "actuation");
+}
+
+}  // namespace
+}  // namespace psn::net

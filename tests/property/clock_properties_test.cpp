@@ -1,0 +1,265 @@
+// Property tests over randomly generated message-passing executions:
+// the Mattern/Fidge vector clock must *characterize* happens-before
+// (stamp order ⇔ causal order), the Lamport clock must be *consistent* with
+// it (causal order ⇒ stamp order), and scalar strobes must be weaker than
+// vector strobes in exactly the documented way.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "clocks/lamport.hpp"
+#include "clocks/strobe_scalar.hpp"
+#include "clocks/strobe_vector.hpp"
+#include "clocks/vector_clock.hpp"
+#include "common/rng.hpp"
+
+namespace psn::clocks {
+namespace {
+
+constexpr std::size_t kProcesses = 4;
+constexpr std::size_t kOps = 60;
+
+struct RandomExecution {
+  struct Event {
+    ProcessId pid;
+    ScalarStamp lamport;
+    VectorStamp vector;
+    // Direct causal predecessors (for ground-truth happens-before).
+    std::vector<std::size_t> preds;
+  };
+  std::vector<Event> events;
+  // Transitive closure of causality: hb[a][b] == true iff a → b.
+  std::vector<std::vector<bool>> hb;
+
+  void compute_closure() {
+    const std::size_t n = events.size();
+    hb.assign(n, std::vector<bool>(n, false));
+    // Events are created in a valid topological order, so one forward pass
+    // suffices.
+    for (std::size_t b = 0; b < n; ++b) {
+      for (const std::size_t a : events[b].preds) {
+        hb[a][b] = true;
+        for (std::size_t c = 0; c < n; ++c) {
+          if (hb[c][a]) hb[c][b] = true;
+        }
+      }
+    }
+  }
+};
+
+/// Generates a random execution: internal events, sends, and receives, with
+/// ground-truth causality tracked explicitly.
+RandomExecution generate(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomExecution exec;
+
+  std::vector<LamportClock> lamports;
+  std::vector<MatternVectorClock> vectors;
+  std::vector<std::size_t> last_event(kProcesses, SIZE_MAX);
+  for (ProcessId p = 0; p < kProcesses; ++p) {
+    lamports.emplace_back(p);
+    vectors.emplace_back(p, kProcesses);
+  }
+
+  struct InFlight {
+    ProcessId to;
+    std::size_t send_event;
+    ScalarStamp lamport;
+    VectorStamp vector;
+  };
+  std::deque<InFlight> network;
+
+  auto record = [&](ProcessId p, ScalarStamp ls, VectorStamp vs,
+                    std::vector<std::size_t> preds) {
+    if (last_event[p] != SIZE_MAX) preds.push_back(last_event[p]);
+    exec.events.push_back({p, ls, vs, std::move(preds)});
+    last_event[p] = exec.events.size() - 1;
+  };
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    const auto p = static_cast<ProcessId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kProcesses) - 1));
+    const auto kind = rng.uniform_int(0, 2);
+    if (kind == 0) {  // internal event
+      record(p, lamports[p].tick(), vectors[p].tick(), {});
+    } else if (kind == 1) {  // send to a random other process
+      auto q = static_cast<ProcessId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kProcesses) - 1));
+      if (q == p) q = static_cast<ProcessId>((q + 1) % kProcesses);
+      const ScalarStamp ls = lamports[p].on_send();
+      const VectorStamp vs = vectors[p].on_send();
+      record(p, ls, vs, {});
+      network.push_back({q, exec.events.size() - 1, ls, vs});
+    } else if (!network.empty()) {  // receive the oldest in-flight message
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(network.size()) - 1));
+      const InFlight msg = network[idx];
+      network.erase(network.begin() + static_cast<std::ptrdiff_t>(idx));
+      const ProcessId q = msg.to;
+      const ScalarStamp ls = lamports[q].on_receive(msg.lamport);
+      const VectorStamp vs = vectors[q].on_receive(msg.vector);
+      record(q, ls, vs, {msg.send_event});
+    }
+  }
+  exec.compute_closure();
+  return exec;
+}
+
+class ClockPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockPropertyTest, VectorClockCharacterizesCausality) {
+  const RandomExecution exec = generate(GetParam());
+  const std::size_t n = exec.events.size();
+  ASSERT_GT(n, 10u);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const bool causal = exec.hb[a][b];
+      const bool stamped =
+          happens_before(exec.events[a].vector, exec.events[b].vector);
+      EXPECT_EQ(causal, stamped)
+          << "event " << a << " vs " << b << ": causality "
+          << (causal ? "→" : "∦") << " but stamps say "
+          << to_string(compare(exec.events[a].vector, exec.events[b].vector));
+    }
+  }
+}
+
+TEST_P(ClockPropertyTest, LamportClockConsistentWithCausality) {
+  const RandomExecution exec = generate(GetParam());
+  for (std::size_t a = 0; a < exec.events.size(); ++a) {
+    for (std::size_t b = 0; b < exec.events.size(); ++b) {
+      if (exec.hb[a][b]) {
+        EXPECT_LT(exec.events[a].lamport, exec.events[b].lamport)
+            << "causal order not reflected in Lamport stamps";
+      }
+    }
+  }
+}
+
+TEST_P(ClockPropertyTest, ConcurrentEventsGetConcurrentVectorStamps) {
+  const RandomExecution exec = generate(GetParam());
+  std::size_t concurrent_pairs = 0;
+  for (std::size_t a = 0; a < exec.events.size(); ++a) {
+    for (std::size_t b = a + 1; b < exec.events.size(); ++b) {
+      if (!exec.hb[a][b] && !exec.hb[b][a]) {
+        concurrent_pairs++;
+        EXPECT_TRUE(concurrent(exec.events[a].vector, exec.events[b].vector));
+      }
+    }
+  }
+  EXPECT_GT(concurrent_pairs, 0u) << "degenerate execution";
+}
+
+TEST_P(ClockPropertyTest, LamportTotalOrderExtendsCausality) {
+  // Sorting by (value, pid) must be a linear extension of happens-before.
+  const RandomExecution exec = generate(GetParam());
+  std::vector<std::size_t> order(exec.events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return exec.events[a].lamport < exec.events[b].lamport;
+  });
+  std::vector<std::size_t> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (std::size_t a = 0; a < exec.events.size(); ++a) {
+    for (std::size_t b = 0; b < exec.events.size(); ++b) {
+      if (exec.hb[a][b]) {
+        EXPECT_LT(position[a], position[b]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/// Strobe-clock property: if every strobe is delivered before the next
+/// relevant event anywhere (the Δ → 0 regime), the strobe scalar order and
+/// strobe vector order agree on every pair of sense events (paper §4.2.3
+/// point 5).
+class StrobeDeltaZeroTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrobeDeltaZeroTest, ScalarEqualsVectorWhenStrobesOutpaceEvents) {
+  Rng rng(GetParam());
+  constexpr std::size_t kN = 5;
+  std::vector<StrobeScalarClock> scalars;
+  std::vector<StrobeVectorClock> vectors;
+  for (ProcessId p = 0; p < kN; ++p) {
+    scalars.emplace_back(p);
+    vectors.emplace_back(p, kN);
+  }
+  struct Stamps {
+    ScalarStamp s;
+    VectorStamp v;
+  };
+  std::vector<Stamps> stamps;
+  for (int e = 0; e < 40; ++e) {
+    const auto p = static_cast<ProcessId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kN) - 1));
+    const ScalarStamp s = scalars[p].on_relevant_event();
+    const VectorStamp v = vectors[p].on_relevant_event();
+    stamps.push_back({s, v});
+    // Δ = 0: everyone receives the strobe before anything else happens.
+    for (ProcessId q = 0; q < kN; ++q) {
+      if (q == p) continue;
+      scalars[q].on_strobe(s);
+      vectors[q].on_strobe(v);
+    }
+  }
+  // With instant strobes the vector order is total and must agree with the
+  // scalar (value, pid) order.
+  for (std::size_t a = 0; a < stamps.size(); ++a) {
+    for (std::size_t b = 0; b < stamps.size(); ++b) {
+      if (a == b) continue;
+      const Ordering vord = compare(stamps[a].v, stamps[b].v);
+      EXPECT_NE(vord, Ordering::kConcurrent) << "Δ=0 left a race";
+      const Ordering sord = compare(stamps[a].s, stamps[b].s);
+      if (vord == Ordering::kBefore) {
+        EXPECT_EQ(sord, Ordering::kBefore);
+      }
+      if (vord == Ordering::kAfter) {
+        EXPECT_EQ(sord, Ordering::kAfter);
+      }
+    }
+  }
+}
+
+TEST_P(StrobeDeltaZeroTest, DelayedStrobesCreateRaces) {
+  // Control experiment: withhold the strobes entirely and every cross-process
+  // pair must be a race under vector stamps, invisible under scalar stamps.
+  Rng rng(GetParam() + 1000);
+  constexpr std::size_t kN = 3;
+  std::vector<StrobeScalarClock> scalars;
+  std::vector<StrobeVectorClock> vectors;
+  for (ProcessId p = 0; p < kN; ++p) {
+    scalars.emplace_back(p);
+    vectors.emplace_back(p, kN);
+  }
+  struct Stamped {
+    ProcessId pid;
+    ScalarStamp s;
+    VectorStamp v;
+  };
+  std::vector<Stamped> stamps;
+  for (int e = 0; e < 15; ++e) {
+    const auto p = static_cast<ProcessId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kN) - 1));
+    stamps.push_back(
+        {p, scalars[p].on_relevant_event(), vectors[p].on_relevant_event()});
+  }
+  for (std::size_t a = 0; a < stamps.size(); ++a) {
+    for (std::size_t b = 0; b < stamps.size(); ++b) {
+      if (stamps[a].pid == stamps[b].pid) continue;
+      EXPECT_TRUE(concurrent(stamps[a].v, stamps[b].v));
+      EXPECT_NE(compare(stamps[a].s, stamps[b].s), Ordering::kConcurrent);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrobeDeltaZeroTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace psn::clocks

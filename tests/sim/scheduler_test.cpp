@@ -1,0 +1,152 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace psn::sim {
+namespace {
+
+using namespace psn::time_literals;
+
+SimTime at(std::int64_t ms) { return SimTime::zero() + Duration::millis(ms); }
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(at(30), [&] { order.push_back(3); });
+  s.schedule_at(at(10), [&] { order.push_back(1); });
+  s.schedule_at(at(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), at(30));
+}
+
+TEST(SchedulerTest, FifoTieBreakAtEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(at(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, CallbackMaySchedule) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(at(1), [&] {
+    order.push_back(1);
+    s.schedule_after(Duration::millis(1), [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), at(2));
+}
+
+TEST(SchedulerTest, SameInstantSelfScheduleRunsAfterQueued) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(at(1), [&] {
+    order.push_back(1);
+    s.schedule_after(Duration::zero(), [&] { order.push_back(3); });
+  });
+  s.schedule_at(at(1), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventHandle h = s.schedule_at(at(1), [&] { ran = true; });
+  s.cancel(h);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsNoop) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(at(1), [] {});
+  s.run();
+  s.cancel(h);  // must not throw
+  s.cancel(EventHandle{});
+}
+
+TEST(SchedulerTest, RunUntilStopsInclusive) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(at(10), [&] { order.push_back(1); });
+  s.schedule_at(at(20), [&] { order.push_back(2); });
+  s.schedule_at(at(30), [&] { order.push_back(3); });
+  const std::size_t n = s.run_until(at(20));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), at(20));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesTimeWhenIdle) {
+  Scheduler s;
+  s.run_until(at(100));
+  EXPECT_EQ(s.now(), at(100));
+}
+
+TEST(SchedulerTest, NextTimeSkipsCancelled) {
+  Scheduler s;
+  const EventHandle h = s.schedule_at(at(1), [] {});
+  s.schedule_at(at(2), [] {});
+  s.cancel(h);
+  EXPECT_EQ(s.next_time(), at(2));
+}
+
+TEST(SchedulerTest, NextTimeEmpty) {
+  Scheduler s;
+  EXPECT_EQ(s.next_time(), SimTime::max());
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenDrained) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(at(1), [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, RunWithEventCap) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(at(i), [&] { count++; });
+  }
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.pending(), 6u);
+}
+
+TEST(SchedulerTest, RejectsPastScheduling) {
+  Scheduler s;
+  s.schedule_at(at(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(at(5), [] {}), InvariantError);
+  EXPECT_THROW(s.schedule_after(-1_ms, [] {}), InvariantError);
+}
+
+TEST(SchedulerTest, RejectsNullCallback) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(at(1), Scheduler::Callback{}), InvariantError);
+}
+
+TEST(SchedulerTest, TotalExecutedCountsAcrossRuns) {
+  Scheduler s;
+  s.schedule_at(at(1), [] {});
+  s.schedule_at(at(2), [] {});
+  s.run();
+  EXPECT_EQ(s.total_executed(), 2u);
+}
+
+}  // namespace
+}  // namespace psn::sim

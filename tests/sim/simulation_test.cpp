@@ -1,0 +1,71 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psn::sim {
+namespace {
+
+using namespace psn::time_literals;
+
+TEST(SimulationTest, StopsAtHorizon) {
+  SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 10_ms;
+  Simulation sim(cfg);
+  int fired = 0;
+  // A self-perpetuating 1 ms heartbeat.
+  std::function<void()> beat = [&] {
+    fired++;
+    sim.scheduler().schedule_after(1_ms, beat);
+  };
+  sim.scheduler().schedule_after(1_ms, beat);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_LE(sim.now(), cfg.horizon);
+}
+
+TEST(SimulationTest, MaxEventsSafetyValve) {
+  SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 1_s;
+  cfg.max_events = 25;
+  Simulation sim(cfg);
+  int fired = 0;
+  std::function<void()> loop = [&] {
+    fired++;
+    sim.scheduler().schedule_after(Duration::nanos(1), loop);
+  };
+  sim.scheduler().schedule_after(Duration::nanos(1), loop);
+  const std::size_t executed = sim.run();
+  EXPECT_EQ(executed, 25u);
+  EXPECT_EQ(fired, 25);
+}
+
+TEST(SimulationTest, RngForIsDeterministicPerComponent) {
+  SimConfig cfg;
+  cfg.seed = 99;
+  Simulation a(cfg), b(cfg);
+  EXPECT_DOUBLE_EQ(a.rng_for("gen", 1).uniform01(),
+                   b.rng_for("gen", 1).uniform01());
+  EXPECT_NE(a.rng_for("gen", 1).uniform01(), a.rng_for("gen", 2).uniform01());
+  EXPECT_NE(a.rng_for("gen").uniform01(), a.rng_for("net").uniform01());
+}
+
+TEST(SimulationTest, DifferentSeedsDifferentDraws) {
+  SimConfig a_cfg, b_cfg;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  Simulation a(a_cfg), b(b_cfg);
+  EXPECT_NE(a.rng_for("x").uniform01(), b.rng_for("x").uniform01());
+}
+
+TEST(SimulationTest, EventsBeyondHorizonDoNotRun) {
+  SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 5_ms;
+  Simulation sim(cfg);
+  bool late = false;
+  sim.scheduler().schedule_at(SimTime::zero() + 6_ms, [&] { late = true; });
+  sim.run();
+  EXPECT_FALSE(late);
+}
+
+}  // namespace
+}  // namespace psn::sim

@@ -1,0 +1,135 @@
+#include "world/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::world {
+namespace {
+
+using namespace psn::time_literals;
+
+sim::SimConfig config_for(std::int64_t seconds, std::uint64_t seed = 1) {
+  sim::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = SimTime::zero() + Duration::seconds(seconds);
+  return cfg;
+}
+
+TEST(RandomWaypointTest, StaysInsideField) {
+  sim::Simulation sim(config_for(120));
+  WorldModel world(sim);
+  const ObjectId zebra = world.create_object("zebra", {50.0, 50.0});
+  RandomWaypointConfig cfg;
+  cfg.width = 100.0;
+  cfg.height = 80.0;
+  RandomWaypointMobility mob(world, zebra, cfg, Rng(1));
+
+  double max_x = 0, max_y = 0, min_x = 1e9, min_y = 1e9;
+  world.add_move_sink([&](ObjectId, const Point2D& p) {
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+  });
+  mob.start();
+  sim.run();
+
+  EXPECT_GE(min_x, 0.0);
+  EXPECT_GE(min_y, 0.0);
+  EXPECT_LE(max_x, 100.0);
+  EXPECT_LE(max_y, 80.0);
+  EXPECT_GT(mob.distance_travelled(), 10.0);
+  EXPECT_GT(mob.waypoints_visited(), 1u);
+}
+
+TEST(RandomWaypointTest, SpeedBoundsRespected) {
+  sim::Simulation sim(config_for(60));
+  WorldModel world(sim);
+  const ObjectId o = world.create_object("o", {10.0, 10.0});
+  RandomWaypointConfig cfg;
+  cfg.speed_min = 1.0;
+  cfg.speed_max = 1.0;  // exactly 1 m/s
+  cfg.tick = 100_ms;
+  cfg.pause = Duration::seconds(1);
+  RandomWaypointMobility mob(world, o, cfg, Rng(2));
+
+  Point2D prev = world.object(o).location();
+  double max_step = 0.0;
+  world.add_move_sink([&](ObjectId, const Point2D& p) {
+    max_step = std::max(max_step, prev.distance_to(p));
+    prev = p;
+  });
+  mob.start();
+  sim.run();
+  // One tick at 1 m/s covers at most 0.1 m.
+  EXPECT_LE(max_step, 0.1 + 1e-9);
+}
+
+TEST(RandomWaypointTest, DistanceMatchesSpeedBudget) {
+  sim::Simulation sim(config_for(100));
+  WorldModel world(sim);
+  const ObjectId o = world.create_object("o", {0.0, 0.0});
+  RandomWaypointConfig cfg;
+  cfg.speed_min = 2.0;
+  cfg.speed_max = 2.0;
+  cfg.pause = Duration::millis(1);  // nearly no pausing
+  RandomWaypointMobility mob(world, o, cfg, Rng(3));
+  mob.start();
+  sim.run();
+  // ~2 m/s for 100 s, minus waypoint-arrival truncation: within [120, 200].
+  EXPECT_GT(mob.distance_travelled(), 120.0);
+  EXPECT_LE(mob.distance_travelled(), 200.0 + 1e-9);
+}
+
+TEST(RandomWaypointTest, DeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation sim(config_for(30, 9));
+    WorldModel world(sim);
+    const ObjectId o = world.create_object("o", {5.0, 5.0});
+    RandomWaypointMobility mob(world, o, {}, Rng(seed));
+    mob.start();
+    sim.run();
+    const auto& p = world.object(o).location();
+    return std::pair{p.x, p.y};
+  };
+  EXPECT_EQ(run_once(4), run_once(4));
+  EXPECT_NE(run_once(4), run_once(5));
+}
+
+TEST(RandomWaypointTest, Validation) {
+  sim::Simulation sim(config_for(1));
+  WorldModel world(sim);
+  const ObjectId o = world.create_object("o");
+  RandomWaypointConfig bad;
+  bad.speed_min = 2.0;
+  bad.speed_max = 1.0;
+  EXPECT_THROW(RandomWaypointMobility(world, o, bad, Rng(1)), InvariantError);
+}
+
+TEST(PatrolTest, VisitsWaypointsInOrder) {
+  sim::Simulation sim(config_for(60));
+  WorldModel world(sim);
+  const ObjectId o = world.create_object("guard", {0.0, 0.0});
+  // Square patrol.
+  PatrolMobility patrol(world, o,
+                        {{10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}, {0.0, 0.0}},
+                        /*speed=*/2.0, /*tick=*/100_ms);
+  std::vector<Point2D> visits;
+  world.add_move_sink([&](ObjectId, const Point2D& p) {
+    for (const Point2D corner : {Point2D{10.0, 0.0}, Point2D{10.0, 10.0},
+                                 Point2D{0.0, 10.0}, Point2D{0.0, 0.0}}) {
+      if (p == corner) visits.push_back(p);
+    }
+  });
+  patrol.start();
+  sim.run();
+  ASSERT_GE(visits.size(), 4u);
+  EXPECT_EQ(visits[0], (Point2D{10.0, 0.0}));
+  EXPECT_EQ(visits[1], (Point2D{10.0, 10.0}));
+  EXPECT_EQ(visits[2], (Point2D{0.0, 10.0}));
+  EXPECT_EQ(visits[3], (Point2D{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace psn::world

@@ -1,0 +1,158 @@
+#include "world/world_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::world {
+namespace {
+
+using namespace psn::time_literals;
+
+sim::SimConfig quick_config() {
+  sim::SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 10_s;
+  return cfg;
+}
+
+TEST(WorldModelTest, CreateAndAccessObjects) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  const ObjectId a = world.create_object("door", {1.0, 2.0});
+  const ObjectId b = world.create_object("room");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(world.num_objects(), 2u);
+  EXPECT_EQ(world.object(a).name(), "door");
+  EXPECT_EQ(world.object(a).location(), (Point2D{1.0, 2.0}));
+  EXPECT_THROW(world.object(7), InvariantError);
+}
+
+TEST(WorldModelTest, EmitUpdatesObjectAndTimeline) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  const ObjectId a = world.create_object("door");
+  world.emit(a, "entered", std::int64_t{5});
+  EXPECT_EQ(world.object(a).attribute("entered").as_int(), 5);
+  ASSERT_EQ(world.timeline().size(), 1u);
+  EXPECT_EQ(world.timeline().at(0).attribute, "entered");
+  EXPECT_EQ(world.timeline().at(0).when, SimTime::zero());
+}
+
+TEST(WorldModelTest, SinksSeeEventsInEmissionOrder) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  const ObjectId a = world.create_object("o");
+  std::vector<std::string> seen;
+  world.add_sink([&](const WorldEvent& ev) { seen.push_back(ev.attribute); });
+  world.add_sink([&](const WorldEvent& ev) {
+    seen.push_back(ev.attribute + "-second");
+  });
+  world.emit(a, "x", 1);
+  world.emit(a, "y", 2);
+  EXPECT_EQ(seen,
+            (std::vector<std::string>{"x", "x-second", "y", "y-second"}));
+}
+
+TEST(WorldModelTest, CovertChannelInducesDelayedEvent) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  const ObjectId pen = world.create_object("pen");
+  const ObjectId desk = world.create_object("desk");
+  CovertChannelSpec ch;
+  ch.from = pen;
+  ch.trigger_attribute = "moved";
+  ch.to = desk;
+  ch.induced_attribute = "pen_present";
+  ch.delay = 50_ms;
+  world.add_covert_channel(ch);
+
+  world.emit(pen, "moved", true);
+  EXPECT_EQ(world.timeline().size(), 1u);
+  sim.run();
+  ASSERT_EQ(world.timeline().size(), 2u);
+  const WorldEvent& induced = world.timeline().at(1);
+  EXPECT_EQ(induced.object, desk);
+  EXPECT_EQ(induced.attribute, "pen_present");
+  EXPECT_EQ(induced.when, SimTime::zero() + 50_ms);
+  EXPECT_EQ(induced.covert_cause, 0u);
+  EXPECT_TRUE(world.timeline().covert_ancestor(0, 1));
+}
+
+TEST(WorldModelTest, CovertChannelTransform) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  const ObjectId a = world.create_object("a");
+  const ObjectId b = world.create_object("b");
+  CovertChannelSpec ch;
+  ch.from = a;
+  ch.trigger_attribute = "count";
+  ch.to = b;
+  ch.induced_attribute = "count";
+  ch.delay = 1_ms;
+  ch.transform = [](const AttributeValue& v) {
+    return AttributeValue(v.as_int() * 10);
+  };
+  world.add_covert_channel(ch);
+  world.emit(a, "count", std::int64_t{4});
+  sim.run();
+  EXPECT_EQ(world.object(b).attribute("count").as_int(), 40);
+}
+
+TEST(WorldModelTest, CovertChainPropagates) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  const ObjectId a = world.create_object("a");
+  const ObjectId b = world.create_object("b");
+  const ObjectId c = world.create_object("c");
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, c}}) {
+    CovertChannelSpec ch;
+    ch.from = from;
+    ch.trigger_attribute = "fire";
+    ch.to = to;
+    ch.induced_attribute = "fire";
+    ch.delay = 10_ms;
+    world.add_covert_channel(ch);
+  }
+  world.emit(a, "fire", true);  // wind spreading a forest fire (paper §4.1)
+  sim.run();
+  ASSERT_EQ(world.timeline().size(), 3u);
+  EXPECT_TRUE(world.timeline().covert_ancestor(0, 2));
+  EXPECT_EQ(world.timeline().at(2).when, SimTime::zero() + 20_ms);
+}
+
+TEST(WorldModelTest, ChannelValidation) {
+  sim::Simulation sim(quick_config());
+  WorldModel world(sim);
+  world.create_object("only");
+  CovertChannelSpec ch;
+  ch.from = 0;
+  ch.to = 5;  // nonexistent
+  ch.trigger_attribute = "x";
+  ch.induced_attribute = "y";
+  EXPECT_THROW(world.add_covert_channel(ch), InvariantError);
+}
+
+TEST(WorldObjectTest, AttributeAccess) {
+  WorldObject o(0, "thing", {});
+  EXPECT_FALSE(o.has_attribute("temp"));
+  EXPECT_THROW(o.attribute("temp"), InvariantError);
+  o.set_attribute("temp", 21.5);
+  EXPECT_TRUE(o.has_attribute("temp"));
+  EXPECT_DOUBLE_EQ(o.attribute("temp").as_double(), 21.5);
+}
+
+TEST(AttributeValueTest, TypesAndNumeric) {
+  EXPECT_EQ(AttributeValue(std::int64_t{7}).as_int(), 7);
+  EXPECT_TRUE(AttributeValue(true).as_bool());
+  EXPECT_DOUBLE_EQ(AttributeValue(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(AttributeValue(std::int64_t{7}).numeric(), 7.0);
+  EXPECT_DOUBLE_EQ(AttributeValue(true).numeric(), 1.0);
+  EXPECT_DOUBLE_EQ(AttributeValue(false).numeric(), 0.0);
+  EXPECT_THROW(AttributeValue(1.0).as_int(), InvariantError);
+  EXPECT_EQ(AttributeValue(std::int64_t{3}).to_string(), "3");
+  EXPECT_EQ(AttributeValue(true).to_string(), "true");
+}
+
+}  // namespace
+}  // namespace psn::world
