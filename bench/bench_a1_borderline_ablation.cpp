@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -29,18 +29,24 @@ int main() {
                "quarantine precision", "assert precision",
                "recall w/ bin", "recall suppress"});
 
-  for (const std::int64_t delta_ms : {10, 50, 100, 200, 300}) {
-    analysis::OccupancyConfig cfg;
-    cfg.doors = 2;
-    cfg.capacity = 50;
-    cfg.movement_rate = 10.0;
-    cfg.delta = Duration::millis(delta_ms);
-    cfg.horizon = Duration::seconds(60);
-    cfg.seed = 400;
+  analysis::OccupancyConfig base;
+  base.doors = 2;
+  base.capacity = 50;
+  base.movement_rate = 10.0;
+  base.horizon = Duration::seconds(60);
+  base.seed = 400;
 
-    const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-    const auto& v = agg.at("strobe-vector").score;
-    const auto& s = agg.at("strobe-scalar").score;
+  const auto result =
+      analysis::sweep(base)
+          .vary_delta({Duration::millis(10), Duration::millis(50),
+                       Duration::millis(100), Duration::millis(200),
+                       Duration::millis(300)})
+          .replications(kReps)
+          .run();
+
+  for (const auto& point : result.points) {
+    const auto& v = point.at("strobe-vector").score;
+    const auto& s = point.at("strobe-scalar").score;
 
     // (b) assert: borderline detections become confident — matched ones add
     // to TP, unmatched ones to FP.
@@ -59,7 +65,7 @@ int main() {
             : 1.0;
 
     table.row()
-        .cell(delta_ms)
+        .cell(static_cast<std::int64_t>(point.config.delta.to_millis()))
         .cell(v.false_positives)
         .cell(assert_fp)
         .cell(s.false_positives)

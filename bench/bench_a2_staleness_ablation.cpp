@@ -14,7 +14,7 @@
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -42,21 +42,35 @@ int main() {
       {"exponential (heavy tail)", core::DelayKind::kExponential, 100},
   };
 
-  for (const auto& c : cases) {
-    analysis::OccupancyConfig cfg;
-    cfg.doors = 2;
-    cfg.capacity = 50;
-    cfg.movement_rate = 10.0;
-    cfg.delay_kind = c.kind;
-    cfg.delta = Duration::millis(c.delta_ms);
-    cfg.horizon = Duration::seconds(60);
-    cfg.seed = 500;
-    cfg.score_tolerance = Duration::millis(500);
+  analysis::OccupancyConfig base_cfg;
+  base_cfg.doors = 2;
+  base_cfg.capacity = 50;
+  base_cfg.movement_rate = 10.0;
+  base_cfg.horizon = Duration::seconds(60);
+  base_cfg.seed = 500;
+  base_cfg.score_tolerance = Duration::millis(500);
 
-    const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-    const auto& base = agg.at("delivery-order");
-    const auto& scalar = agg.at("strobe-scalar");
-    const auto& vector = agg.at("strobe-vector");
+  // The delay model and its Δ parameter move together, so they form one
+  // custom axis rather than two independent ones.
+  std::vector<analysis::SweepSpec::Mutator> delay_axis;
+  for (const auto& c : cases) {
+    delay_axis.push_back([c](analysis::OccupancyConfig& cfg) {
+      cfg.delay_kind = c.kind;
+      cfg.delta = Duration::millis(c.delta_ms);
+    });
+  }
+
+  const auto result = analysis::sweep(base_cfg)
+                          .vary_custom(delay_axis)
+                          .replications(kReps)
+                          .run();
+
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const auto& point = result.points[i];
+    const Case& c = cases[i];
+    const auto& base = point.at("delivery-order");
+    const auto& scalar = point.at("strobe-scalar");
+    const auto& vector = point.at("strobe-vector");
 
     table.row()
         .cell(c.label)

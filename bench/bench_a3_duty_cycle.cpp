@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -31,41 +31,60 @@ int main() {
   Table table({"duty fraction", "phases", "recall", "recall w/ bin",
                "p50 latency (ms)", "p95 latency (ms)", "belief acc"});
 
-  for (const double duty : {1.0, 0.5, 0.2, 0.1}) {
-    for (const bool aligned : {true, false}) {
-      if (duty == 1.0 && !aligned) continue;  // always-on has no phases
-      analysis::OccupancyConfig cfg;
-      cfg.doors = 2;
-      cfg.capacity = 20;
-      cfg.movement_rate = 2.0;
-      cfg.delta = Duration::millis(50);
-      cfg.horizon = Duration::seconds(120);
-      cfg.seed = 600;
-      cfg.score_tolerance = Duration::millis(2200);
-      if (duty < 1.0) {
+  analysis::OccupancyConfig base;
+  base.doors = 2;
+  base.capacity = 20;
+  base.movement_rate = 2.0;
+  base.delta = Duration::millis(50);
+  base.horizon = Duration::seconds(120);
+  base.seed = 600;
+  base.score_tolerance = Duration::millis(2200);
+
+  // Duty fraction and phase alignment interact ("always-on has no phases"),
+  // so the axis enumerates the valid (duty, aligned) combinations directly.
+  struct Case {
+    double duty;
+    bool aligned;
+  };
+  std::vector<Case> cases = {{1.0, true}};
+  for (const double duty : {0.5, 0.2, 0.1}) {
+    cases.push_back({duty, true});
+    cases.push_back({duty, false});
+  }
+  std::vector<analysis::SweepSpec::Mutator> duty_axis;
+  for (const Case& c : cases) {
+    duty_axis.push_back([c](analysis::OccupancyConfig& cfg) {
+      if (c.duty < 1.0) {
         net::DutyCycle dc;
         dc.period = Duration::millis(1000);
-        dc.window = Duration::millis(static_cast<std::int64_t>(1000 * duty));
+        dc.window = Duration::millis(static_cast<std::int64_t>(1000 * c.duty));
         cfg.duty_cycle = dc;
-        cfg.duty_phases_aligned = aligned;
+        cfg.duty_phases_aligned = c.aligned;
       }
+    });
+  }
 
-      const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-      const auto& v = agg.at("strobe-vector");
-      table.row()
-          .cell(duty, 3)
-          .cell(duty == 1.0 ? "always-on" : (aligned ? "synced" : "random"))
-          .cell(v.score.recall(), 3)
-          .cell(v.score.recall_with_borderline(), 3)
-          .cell(v.score.latency_s.empty() ? 0.0
-                                          : v.score.latency_s.median() * 1e3,
-                4)
-          .cell(v.score.latency_s.empty()
-                    ? 0.0
-                    : v.score.latency_s.percentile(95) * 1e3,
-                4)
-          .cell(v.belief_accuracy.mean(), 4);
-    }
+  const auto result = analysis::sweep(base)
+                          .vary_custom(duty_axis)
+                          .replications(kReps)
+                          .run();
+
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const auto& [duty, aligned] = cases[i];
+    const auto& v = result.points[i].at("strobe-vector");
+    table.row()
+        .cell(duty, 3)
+        .cell(duty == 1.0 ? "always-on" : (aligned ? "synced" : "random"))
+        .cell(v.score.recall(), 3)
+        .cell(v.score.recall_with_borderline(), 3)
+        .cell(v.score.latency_s.empty() ? 0.0
+                                        : v.score.latency_s.median() * 1e3,
+              4)
+        .cell(v.score.latency_s.empty()
+                  ? 0.0
+                  : v.score.latency_s.percentile(95) * 1e3,
+              4)
+        .cell(v.belief_accuracy.mean(), 4);
   }
   std::printf("%s\n", table.ascii().c_str());
   std::printf(

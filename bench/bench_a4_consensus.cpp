@@ -11,13 +11,74 @@
 // larger borderline bin and O(n) observer state.
 
 #include <cstdio>
+#include <numeric>
+#include <utility>
+#include <vector>
 
 #include "analysis/scoring.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/consensus.hpp"
 #include "core/oracle.hpp"
 #include "core/predicate_parser.hpp"
 #include "world/scenarios.hpp"
+
+namespace {
+
+using namespace psn;
+
+struct SeedScores {
+  analysis::DetectionScore single;
+  analysis::DetectionScore consensus;
+};
+
+/// One full system build + run + consensus scoring for one seed. Pure
+/// function of (delta_ms, seed), so seeds fan out across the pool.
+SeedScores run_consensus_seed(std::int64_t delta_ms, std::uint64_t seed) {
+  core::SystemConfig sys;
+  sys.num_sensors = 3;
+  sys.sim.seed = seed;
+  sys.sim.horizon = SimTime::zero() + Duration::seconds(60);
+  sys.delta = Duration::millis(delta_ms);
+  core::PervasiveSystem system(sys);
+  core::enable_all_observers(system);
+
+  world::ExhibitionHallConfig hall_cfg;
+  hall_cfg.doors = 3;
+  hall_cfg.capacity = 50;
+  hall_cfg.movement_rate = 12.0;
+  hall_cfg.target_occupancy = 50;
+  hall_cfg.initial_occupancy = 40;
+  world::ExhibitionHall hall(system.world(), hall_cfg,
+                             system.sim().rng_for("hall"));
+  for (int k = 0; k < 3; ++k) {
+    const auto pid = static_cast<ProcessId>(k + 1);
+    system.assign(hall.door_object(k), "entered", pid);
+    system.assign(hall.door_object(k), "exited", pid);
+  }
+  hall.start();
+  system.run();
+
+  const auto phi =
+      core::parse_predicate("overcrowded", "sum(entered) - sum(exited) > 50");
+  const core::GroundTruthOracle oracle(phi, system.sensing());
+  const auto truth =
+      oracle.evaluate(system.timeline(), SimTime::zero() + Duration::seconds(60));
+  analysis::ScoreConfig score_cfg;
+  score_cfg.tolerance = Duration::millis(2 * delta_ms + 1);
+
+  const auto single_dets = core::StrobeVectorDetector().run(system.log(), phi);
+  const auto logs = core::ConsensusStrobeDetector::observer_logs(system);
+  const auto consensus_dets = core::ConsensusStrobeDetector().run(logs, phi);
+
+  SeedScores scores;
+  scores.single = analysis::score_detections(truth, single_dets, score_cfg);
+  scores.consensus =
+      analysis::score_detections(truth, consensus_dets, score_cfg);
+  return scores;
+}
+
+}  // namespace
 
 int main() {
   using namespace psn;
@@ -32,51 +93,21 @@ int main() {
                "single precision", "consensus precision", "single bin",
                "consensus bin", "recall w/ bin (cons.)"});
 
+  ThreadPool pool(0);  // one worker per hardware thread
+  std::vector<std::uint64_t> seeds(kReps);
+  std::iota(seeds.begin(), seeds.end(), 1);
+
   for (const std::int64_t delta_ms : {25, 75, 150, 300}) {
+    // Seeds are independent runs; merge in seed order keeps the totals
+    // identical to the old sequential loop at any pool size.
+    const auto per_seed =
+        parallel_map(pool, seeds, [delta_ms](const std::uint64_t& seed) {
+          return run_consensus_seed(delta_ms, seed);
+        });
     analysis::DetectionScore single_total, consensus_total;
-    for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
-      core::SystemConfig sys;
-      sys.num_sensors = 3;
-      sys.sim.seed = seed;
-      sys.sim.horizon = SimTime::zero() + Duration::seconds(60);
-      sys.delta = Duration::millis(delta_ms);
-      core::PervasiveSystem system(sys);
-      core::enable_all_observers(system);
-
-      world::ExhibitionHallConfig hall_cfg;
-      hall_cfg.doors = 3;
-      hall_cfg.capacity = 50;
-      hall_cfg.movement_rate = 12.0;
-      hall_cfg.target_occupancy = 50;
-      hall_cfg.initial_occupancy = 40;
-      world::ExhibitionHall hall(system.world(), hall_cfg,
-                                 system.sim().rng_for("hall"));
-      for (int k = 0; k < 3; ++k) {
-        const auto pid = static_cast<ProcessId>(k + 1);
-        system.assign(hall.door_object(k), "entered", pid);
-        system.assign(hall.door_object(k), "exited", pid);
-      }
-      hall.start();
-      system.run();
-
-      const auto phi = core::parse_predicate(
-          "overcrowded", "sum(entered) - sum(exited) > 50");
-      const core::GroundTruthOracle oracle(phi, system.sensing());
-      const auto truth = oracle.evaluate(system.timeline(),
-                                         SimTime::zero() + Duration::seconds(60));
-      analysis::ScoreConfig score_cfg;
-      score_cfg.tolerance = Duration::millis(2 * delta_ms + 1);
-
-      const auto single_dets =
-          core::StrobeVectorDetector().run(system.log(), phi);
-      const auto logs = core::ConsensusStrobeDetector::observer_logs(system);
-      const auto consensus_dets =
-          core::ConsensusStrobeDetector().run(logs, phi);
-
-      single_total +=
-          analysis::score_detections(truth, single_dets, score_cfg);
-      consensus_total +=
-          analysis::score_detections(truth, consensus_dets, score_cfg);
+    for (const SeedScores& s : per_seed) {
+      single_total += s.single;
+      consensus_total += s.consensus;
     }
 
     table.row()

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -27,17 +27,25 @@ int main() {
                "FP rate", "recall", "recall w/ borderline", "borderline/occ",
                "belief acc"});
 
-  for (const std::int64_t delta_ms : {1, 5, 10, 25, 50, 100, 200, 300}) {
-    analysis::OccupancyConfig cfg;
-    cfg.doors = 2;
-    cfg.capacity = 50;
-    cfg.movement_rate = kRate;
-    cfg.delta = Duration::millis(delta_ms);
-    cfg.horizon = Duration::seconds(60);
-    cfg.seed = 1;
+  analysis::OccupancyConfig base;
+  base.doors = 2;
+  base.capacity = 50;
+  base.movement_rate = kRate;
+  base.horizon = Duration::seconds(60);
+  base.seed = 1;
 
-    const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-    const auto& v = agg.at("strobe-vector");
+  const auto result =
+      analysis::sweep(base)
+          .vary_delta({Duration::millis(1), Duration::millis(5),
+                       Duration::millis(10), Duration::millis(25),
+                       Duration::millis(50), Duration::millis(100),
+                       Duration::millis(200), Duration::millis(300)})
+          .replications(kReps)
+          .run();
+
+  for (const auto& point : result.points) {
+    const double delta_ms = point.config.delta.to_millis();
+    const auto& v = point.at("strobe-vector");
     const double occ = static_cast<double>(v.score.oracle_occurrences);
     const double fn_rate =
         occ > 0 ? static_cast<double>(v.score.false_negatives) / occ : 0.0;
@@ -48,8 +56,8 @@ int main() {
             : 0.0;
 
     table.row()
-        .cell(delta_ms)
-        .cell(static_cast<double>(delta_ms) / 1000.0 * kRate, 3)
+        .cell(static_cast<std::int64_t>(delta_ms))
+        .cell(delta_ms / 1000.0 * kRate, 3)
         .cell(v.score.oracle_occurrences)
         .cell(fn_rate, 3)
         .cell(fp_rate, 3)

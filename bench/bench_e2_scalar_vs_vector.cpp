@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -27,21 +27,28 @@ int main() {
                "vector FN", "vector FN covered", "scalar recall",
                "vector recall+bin"});
 
-  for (const std::int64_t delta_ms : {1, 5, 10, 25, 50, 100, 200, 300}) {
-    analysis::OccupancyConfig cfg;
-    cfg.doors = 2;
-    cfg.capacity = 50;
-    cfg.movement_rate = kRate;
-    cfg.delta = Duration::millis(delta_ms);
-    cfg.horizon = Duration::seconds(60);
-    cfg.seed = 100;
+  analysis::OccupancyConfig base;
+  base.doors = 2;
+  base.capacity = 50;
+  base.movement_rate = kRate;
+  base.horizon = Duration::seconds(60);
+  base.seed = 100;
 
-    const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-    const auto& s = agg.at("strobe-scalar").score;
-    const auto& v = agg.at("strobe-vector").score;
+  const auto result =
+      analysis::sweep(base)
+          .vary_delta({Duration::millis(1), Duration::millis(5),
+                       Duration::millis(10), Duration::millis(25),
+                       Duration::millis(50), Duration::millis(100),
+                       Duration::millis(200), Duration::millis(300)})
+          .replications(kReps)
+          .run();
+
+  for (const auto& point : result.points) {
+    const auto& s = point.at("strobe-scalar").score;
+    const auto& v = point.at("strobe-vector").score;
 
     table.row()
-        .cell(delta_ms)
+        .cell(static_cast<std::int64_t>(point.config.delta.to_millis()))
         .cell(s.oracle_occurrences)
         .cell(s.false_positives)
         .cell(v.false_positives)

@@ -7,50 +7,72 @@
 // Sweep n (doors) × event rate at fixed Δ = 100 ms.
 // Expected shape: recall stays high at low rates for every n, and degrades
 // as rate·Δ grows; more processes → more concurrent traffic → more races.
+//
+// This bench doubles as the sweep engine's scaling check: the same grid is
+// run once on 1 thread and once on PSN_THREADS workers (default 8), the
+// merged scores are required to be byte-identical, and the wall-clock ratio
+// is reported. Per-run determinism makes the speedup free of any
+// result-level caveat.
 
 #include <cstdio>
+#include <cstdlib>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
   using namespace psn;
 
   constexpr std::size_t kReps = 8;
+  unsigned par_threads = 8;
+  if (const char* env = std::getenv("PSN_THREADS")) {
+    par_threads = static_cast<unsigned>(std::atoi(env));
+  }
+
   std::printf(
       "E4: strobe-vector viability vs (n, event rate) at Delta = 100 ms "
       "(%zu seeds x 60 s)\n\n",
       kReps);
 
+  analysis::OccupancyConfig base;
+  base.capacity = 50;
+  base.delta = Duration::millis(100);
+  base.horizon = Duration::seconds(60);
+  base.seed = 1000;
+
+  auto spec = analysis::sweep(base)
+                  .vary_doors({2, 4, 8, 16, 32})
+                  .vary_rate({1.0, 5.0, 20.0})
+                  .replications(kReps);
+
+  const auto serial = spec.threads(1).run();
+  const auto parallel = spec.threads(par_threads).run();
+
   Table table({"doors (n)", "rate (events/s)", "rate*Delta", "occurrences",
                "recall", "recall w/ borderline", "precision", "belief acc"});
-
-  for (const std::size_t doors : {2u, 4u, 8u, 16u, 32u}) {
-    for (const double rate : {1.0, 5.0, 20.0}) {
-      analysis::OccupancyConfig cfg;
-      cfg.doors = doors;
-      cfg.capacity = 50;
-      cfg.movement_rate = rate;
-      cfg.delta = Duration::millis(100);
-      cfg.horizon = Duration::seconds(60);
-      cfg.seed = 1000 + doors;
-
-      const auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-      const auto& v = agg.at("strobe-vector");
-      table.row()
-          .cell(doors)
-          .cell(rate, 3)
-          .cell(rate * 0.1, 3)
-          .cell(v.score.oracle_occurrences)
-          .cell(v.score.recall(), 3)
-          .cell(v.score.recall_with_borderline(), 3)
-          .cell(v.score.precision(), 3)
-          .cell(v.belief_accuracy.mean(), 4);
-    }
+  for (const auto& point : parallel.points) {
+    const auto& v = point.at("strobe-vector");
+    table.row()
+        .cell(point.config.doors)
+        .cell(point.config.movement_rate, 3)
+        .cell(point.config.movement_rate * 0.1, 3)
+        .cell(v.score.oracle_occurrences)
+        .cell(v.score.recall(), 3)
+        .cell(v.score.recall_with_borderline(), 3)
+        .cell(v.score.precision(), 3)
+        .cell(v.belief_accuracy.mean(), 4);
   }
   std::printf("%s\n", table.ascii().c_str());
   std::printf(
       "Claim check: high recall whenever rate*Delta is small, for every n;\n"
-      "degradation concentrates where rate*Delta approaches 1.\n");
-  return 0;
+      "degradation concentrates where rate*Delta approaches 1.\n\n");
+
+  const bool identical = serial.csv() == parallel.csv();
+  std::printf(
+      "sweep engine: %zu runs | 1 thread: %.2f s | %u threads: %.2f s | "
+      "speedup %.2fx | merged scores identical: %s\n",
+      parallel.runs, serial.wall_seconds, parallel.threads_used,
+      parallel.wall_seconds, serial.wall_seconds / parallel.wall_seconds,
+      identical ? "yes" : "NO");
+  return identical ? 0 : 1;
 }

@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -29,19 +29,22 @@ int main() {
                "bin size", "recall", "recall w/ bin", "precision",
                "p50 latency (ms)"});
 
-  for (const std::size_t doors : {2u, 4u, 8u}) {
-    analysis::OccupancyConfig cfg;
-    cfg.doors = doors;
-    cfg.capacity = 200;
-    cfg.movement_rate = 25.0;
-    cfg.delta = Duration::millis(150);
-    cfg.horizon = Duration::seconds(120);
-    cfg.seed = 42;
+  analysis::OccupancyConfig base;
+  base.capacity = 200;
+  base.movement_rate = 25.0;
+  base.delta = Duration::millis(150);
+  base.horizon = Duration::seconds(120);
+  base.seed = 42;
 
-    auto agg = analysis::run_occupancy_replicated(cfg, kReps);
-    const auto& v = agg.at("strobe-vector");
+  const auto result = analysis::sweep(base)
+                          .vary_doors({2, 4, 8})
+                          .replications(kReps)
+                          .run();
+
+  for (const auto& point : result.points) {
+    const auto& v = point.at("strobe-vector");
     table.row()
-        .cell(doors)
+        .cell(point.config.doors)
         .cell(v.score.oracle_occurrences)
         .cell(v.score.true_positives)
         .cell(v.score.false_positives)

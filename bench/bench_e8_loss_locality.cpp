@@ -10,10 +10,15 @@
 //
 // Expected shape: errors concentrate in the padded window; outside it the
 // lossy run matches the clean run (no ripple).
+//
+// The clean/lossy run pairs need the raw per-run results (error *locations*,
+// not merged scores), so this bench uses the sweep engine's lower-level
+// run_specs() fan-out: all 2×kReps simulations run across the pool, results
+// come back in input order.
 
 #include <cstdio>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -90,7 +95,8 @@ int main() {
                "errors elsewhere (lossy)", "errors elsewhere (clean)",
                "window fraction of run"});
 
-  std::map<std::string, std::array<std::size_t, 3>> tally;
+  // Interleaved (clean, lossy) pairs per seed; run_specs preserves order.
+  std::vector<analysis::OccupancyConfig> configs;
   for (std::uint64_t seed = 1; seed <= kReps; ++seed) {
     analysis::OccupancyConfig cfg;
     cfg.doors = 4;
@@ -99,12 +105,18 @@ int main() {
     cfg.delta = delta;
     cfg.horizon = Duration::seconds(120);
     cfg.seed = seed;
+    configs.push_back(cfg);
 
     analysis::OccupancyConfig lossy_cfg = cfg;
     lossy_cfg.loss_windows = {{w_begin, w_end}};
+    configs.push_back(lossy_cfg);
+  }
+  const auto runs = analysis::run_specs(configs);
 
-    const auto clean = analysis::run_occupancy_experiment(cfg);
-    const auto lossy = analysis::run_occupancy_experiment(lossy_cfg);
+  std::map<std::string, std::array<std::size_t, 3>> tally;
+  for (std::size_t i = 0; i < kReps; ++i) {
+    const auto& clean = runs[2 * i];
+    const auto& lossy = runs[2 * i + 1];
 
     for (const char* det : {"strobe-vector", "strobe-scalar"}) {
       const auto lossy_loc =

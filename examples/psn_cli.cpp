@@ -15,6 +15,7 @@
 //     --seconds S        horizon                           (default 60)
 //     --seed N           RNG seed                          (default 1)
 //     --reps N           replications (seed, seed+1, ...)  (default 1)
+//     --threads N        sweep worker threads, 0 = all hardware threads
 //     --csv PATH         also write the scorecard as CSV
 //
 // Examples:
@@ -28,7 +29,8 @@
 #include <map>
 #include <string>
 
-#include "analysis/experiments.hpp"
+#include "analysis/sweep.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -47,6 +49,7 @@ struct CliOptions {
   std::int64_t seconds = 60;
   std::uint64_t seed = 1;
   std::size_t reps = 1;
+  unsigned threads = 0;  // 0 = one worker per hardware thread
   std::string csv;
 };
 
@@ -66,7 +69,7 @@ CliOptions parse_cli(int argc, char** argv) {
           "               [--capacity N] [--rate R] [--delta MS]\n"
           "               [--delay uniform|fixed|exp|sync] [--eps US]\n"
           "               [--loss P] [--seconds S] [--seed N] [--reps N]\n"
-          "               [--csv PATH]\n");
+          "               [--threads N] [--csv PATH]\n");
       std::exit(0);
     }
     auto value = [&]() -> std::string {
@@ -95,6 +98,10 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
     } else if (flag == "--reps") {
       opt.reps = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--threads") {
+      const int threads = std::atoi(value().c_str());
+      if (threads < 0) usage_error("--threads must be >= 0");
+      opt.threads = static_cast<unsigned>(threads);
     } else if (flag == "--csv") {
       opt.csv = value();
     } else {
@@ -154,11 +161,20 @@ int main(int argc, char** argv) {
       static_cast<long long>(opt.seconds), opt.reps,
       static_cast<unsigned long long>(opt.seed));
 
-  const auto agg = analysis::run_occupancy_replicated(cfg, opt.reps);
+  analysis::SweepResult result;
+  try {
+    result = analysis::sweep(cfg)
+                 .replications(opt.reps)
+                 .threads(opt.threads)
+                 .run();
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "psn_cli: %s\n", e.what());
+    return 2;
+  }
 
   Table table({"detector", "occurrences", "TP", "FP", "FN", "borderline",
                "recall", "recall w/ bin", "precision", "belief acc"});
-  for (const auto& [name, outcome] : agg) {
+  for (const auto& [name, outcome] : result.points.front().detectors) {
     table.row()
         .cell(name)
         .cell(outcome.score.oracle_occurrences)

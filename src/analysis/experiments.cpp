@@ -2,12 +2,47 @@
 
 #include <utility>
 
+#include "analysis/sweep.hpp"
 #include "common/error.hpp"
 #include "core/detectors.hpp"
 #include "core/oracle.hpp"
 #include "core/predicate_parser.hpp"
 
 namespace psn::analysis {
+
+void validate(const OccupancyConfig& config) {
+  if (config.doors == 0) {
+    throw ConfigError("OccupancyConfig: doors must be >= 1");
+  }
+  if (config.movement_rate < 0.0) {
+    throw ConfigError("OccupancyConfig: movement_rate must be >= 0, got " +
+                      std::to_string(config.movement_rate));
+  }
+  if (config.capacity < 0) {
+    throw ConfigError("OccupancyConfig: capacity must be >= 0, got " +
+                      std::to_string(config.capacity));
+  }
+  if (config.horizon <= Duration::zero()) {
+    throw ConfigError("OccupancyConfig: horizon must be positive");
+  }
+  if (config.delta <= Duration::zero() &&
+      config.delay_kind == core::DelayKind::kUniformBounded) {
+    throw ConfigError(
+        "OccupancyConfig: delta must be positive under kUniformBounded "
+        "(use kSynchronous for the Delta = 0 model)");
+  }
+  if (config.loss_probability < 0.0 || config.loss_probability > 1.0) {
+    throw ConfigError("OccupancyConfig: loss_probability must be in [0, 1]");
+  }
+  if (config.duty_cycle) {
+    if (config.duty_cycle->period <= Duration::zero() ||
+        config.duty_cycle->window <= Duration::zero() ||
+        config.duty_cycle->window > config.duty_cycle->period) {
+      throw ConfigError(
+          "OccupancyConfig: duty cycle needs 0 < window <= period");
+    }
+  }
+}
 
 const DetectorOutcome& OccupancyRunResult::outcome(
     const std::string& detector) const {
@@ -19,6 +54,12 @@ const DetectorOutcome& OccupancyRunResult::outcome(
 }
 
 OccupancyRunResult run_occupancy_experiment(const OccupancyConfig& config) {
+  return run_occupancy_experiment(Validated<OccupancyConfig>(config));
+}
+
+OccupancyRunResult run_occupancy_experiment(
+    const Validated<OccupancyConfig>& validated) {
+  const OccupancyConfig& config = validated.get();
   core::SystemConfig sys;
   sys.num_sensors = config.doors;
   sys.sim.seed = config.seed;
@@ -79,21 +120,14 @@ OccupancyRunResult run_occupancy_experiment(const OccupancyConfig& config) {
   return result;
 }
 
+// Forwarding shim for the deprecated free function: one grid point through
+// the sweep engine (which preserves the old seed, seed+1, … merge order at
+// any thread count). Kept for one release.
 std::map<std::string, AggregatedOutcome> run_occupancy_replicated(
     OccupancyConfig config, std::size_t replications) {
-  PSN_CHECK(replications > 0, "need at least one replication");
-  std::map<std::string, AggregatedOutcome> agg;
-  for (std::size_t r = 0; r < replications; ++r) {
-    OccupancyConfig c = config;
-    c.seed = config.seed + r;
-    const OccupancyRunResult result = run_occupancy_experiment(c);
-    for (const auto& out : result.outcomes) {
-      auto& a = agg[out.detector];
-      a.score += out.score;
-      a.belief_accuracy.add(out.belief_accuracy);
-    }
-  }
-  return agg;
+  SweepResult result =
+      sweep(std::move(config)).replications(replications).run();
+  return std::move(result.points.front().detectors);
 }
 
 }  // namespace psn::analysis

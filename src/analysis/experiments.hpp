@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/scoring.hpp"
+#include "common/validated.hpp"
 #include "core/system.hpp"
 #include "net/transport.hpp"
 #include "world/scenarios.hpp"
@@ -66,8 +67,18 @@ struct OccupancyRunResult {
   const DetectorOutcome& outcome(const std::string& detector) const;
 };
 
+/// Rejects nonsensical configs (zero doors, negative rates or capacity,
+/// Δ ≤ 0 under the bounded-delay model, horizon ≤ 0, loss outside [0, 1],
+/// degenerate duty cycles) with ConfigError. Found by ADL from
+/// `Validated<OccupancyConfig>`, which is how experiment entry points check
+/// configs exactly once at the boundary.
+void validate(const OccupancyConfig& config);
+
 /// Builds the hall system, runs it, runs every online detector over the
 /// observation log, and scores each against the oracle.
+OccupancyRunResult run_occupancy_experiment(
+    const Validated<OccupancyConfig>& config);
+/// Convenience overload: validates (throwing ConfigError) and runs.
 OccupancyRunResult run_occupancy_experiment(const OccupancyConfig& config);
 
 /// Aggregate of several seeds of the same configuration.
@@ -77,6 +88,10 @@ struct AggregatedOutcome {
 };
 
 /// Runs `replications` seeds (seed, seed+1, …) and sums per-detector scores.
+[[deprecated(
+    "use analysis::sweep(config).replications(n).run() — see "
+    "analysis/sweep.hpp; this forwarding shim will be removed next "
+    "release")]]
 std::map<std::string, AggregatedOutcome> run_occupancy_replicated(
     OccupancyConfig config, std::size_t replications);
 

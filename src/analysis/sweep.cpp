@@ -1,0 +1,212 @@
+#include "analysis/sweep.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/validated.hpp"
+
+namespace psn::analysis {
+
+const AggregatedOutcome& PointResult::at(const std::string& detector) const {
+  const auto it = detectors.find(detector);
+  PSN_CHECK(it != detectors.end(), "no outcome for detector: " + detector);
+  return it->second;
+}
+
+Table SweepResult::summary_table() const {
+  Table table({"point", "doors", "rate", "delta_ms", "loss", "detector",
+               "occurrences", "TP", "FP", "FN", "borderline", "fn_covered",
+               "recall", "recall_w_bin", "precision", "belief_mean",
+               "belief_stddev", "latency_count", "latency_p50_ms"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    for (const auto& [name, agg] : p.detectors) {  // std::map: sorted, stable
+      const auto& s = agg.score;
+      table.row()
+          .cell(i)
+          .cell(p.config.doors)
+          .cell(p.config.movement_rate, 3)
+          .cell(p.config.delta == Duration::max() ? -1.0
+                                                  : p.config.delta.to_millis(),
+                3)
+          .cell(p.config.loss_probability, 3)
+          .cell(name)
+          .cell(s.oracle_occurrences)
+          .cell(s.true_positives)
+          .cell(s.false_positives)
+          .cell(s.false_negatives)
+          .cell(s.borderline_detections)
+          .cell(s.fn_covered_by_borderline)
+          .cell(s.recall(), 6)
+          .cell(s.recall_with_borderline(), 6)
+          .cell(s.precision(), 6)
+          .cell(agg.belief_accuracy.mean(), 6)
+          .cell(agg.belief_accuracy.stddev(), 6)
+          .cell(s.latency_s.count())
+          .cell(s.latency_s.empty() ? 0.0 : s.latency_s.median() * 1e3, 6);
+    }
+  }
+  return table;
+}
+
+SweepSpec& SweepSpec::base(OccupancyConfig cfg) {
+  base_ = std::move(cfg);
+  return *this;
+}
+
+SweepSpec& SweepSpec::vary_doors(std::vector<std::size_t> doors) {
+  std::vector<Mutator> axis;
+  for (const std::size_t d : doors) {
+    axis.push_back([d](OccupancyConfig& c) { c.doors = d; });
+  }
+  return vary_custom(std::move(axis));
+}
+
+SweepSpec& SweepSpec::vary_rate(std::vector<double> rates) {
+  std::vector<Mutator> axis;
+  for (const double r : rates) {
+    axis.push_back([r](OccupancyConfig& c) { c.movement_rate = r; });
+  }
+  return vary_custom(std::move(axis));
+}
+
+SweepSpec& SweepSpec::vary_delta(std::vector<Duration> deltas) {
+  std::vector<Mutator> axis;
+  for (const Duration d : deltas) {
+    axis.push_back([d](OccupancyConfig& c) { c.delta = d; });
+  }
+  return vary_custom(std::move(axis));
+}
+
+SweepSpec& SweepSpec::vary_capacity(std::vector<int> capacities) {
+  std::vector<Mutator> axis;
+  for (const int cap : capacities) {
+    axis.push_back([cap](OccupancyConfig& c) { c.capacity = cap; });
+  }
+  return vary_custom(std::move(axis));
+}
+
+SweepSpec& SweepSpec::vary_loss(std::vector<double> probabilities) {
+  std::vector<Mutator> axis;
+  for (const double p : probabilities) {
+    axis.push_back([p](OccupancyConfig& c) { c.loss_probability = p; });
+  }
+  return vary_custom(std::move(axis));
+}
+
+SweepSpec& SweepSpec::vary_sync_epsilon(std::vector<Duration> epsilons) {
+  std::vector<Mutator> axis;
+  for (const Duration e : epsilons) {
+    axis.push_back([e](OccupancyConfig& c) { c.sync_epsilon = e; });
+  }
+  return vary_custom(std::move(axis));
+}
+
+SweepSpec& SweepSpec::vary_custom(std::vector<Mutator> cases) {
+  if (!cases.empty()) axes_.push_back(std::move(cases));
+  return *this;
+}
+
+SweepSpec& SweepSpec::replications(std::size_t n) {
+  if (n == 0) throw ConfigError("SweepSpec: need at least one replication");
+  replications_ = n;
+  return *this;
+}
+
+SweepSpec& SweepSpec::threads(unsigned n) {
+  threads_ = n;
+  return *this;
+}
+
+std::vector<OccupancyConfig> SweepSpec::point_configs() const {
+  // Row-major cross product: the first-declared axis varies slowest, exactly
+  // like the outermost loop of the hand-written sweeps this API replaces.
+  std::vector<OccupancyConfig> configs{base_};
+  for (const auto& axis : axes_) {
+    std::vector<OccupancyConfig> next;
+    next.reserve(configs.size() * axis.size());
+    for (const OccupancyConfig& cfg : configs) {
+      for (const Mutator& apply : axis) {
+        OccupancyConfig c = cfg;
+        apply(c);
+        next.push_back(std::move(c));
+      }
+    }
+    configs = std::move(next);
+  }
+  for (const OccupancyConfig& cfg : configs) {
+    (void)Validated<OccupancyConfig>(cfg);  // throws ConfigError on nonsense
+  }
+  return configs;
+}
+
+std::vector<RunSpec> SweepSpec::expand() const {
+  const std::vector<OccupancyConfig> configs = point_configs();
+  std::vector<RunSpec> specs;
+  specs.reserve(configs.size() * replications_);
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    for (std::size_t r = 0; r < replications_; ++r) {
+      RunSpec spec;
+      spec.config = configs[p];
+      spec.config.seed = configs[p].seed + r;
+      spec.point = p;
+      spec.replication = r;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+SweepResult SweepSpec::run() const {
+  const std::vector<OccupancyConfig> configs = point_configs();
+  const std::vector<RunSpec> specs = expand();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ThreadPool pool(threads_);
+  // Fan out every (point, replication) run; collect in submission order so
+  // the merge below never observes completion order.
+  const std::vector<OccupancyRunResult> runs = parallel_map(
+      pool, specs,
+      [](const RunSpec& spec) { return run_occupancy_experiment(spec.config); });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.runs = specs.size();
+  result.threads_used = pool.size();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.points.resize(configs.size());
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    result.points[p].config = configs[p];
+  }
+  // Deterministic merge: flat run order is (point-major, seed order), the
+  // exact order the old sequential loops accumulated in.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    PointResult& point = result.points[specs[i].point];
+    point.world_events += runs[i].world_events;
+    point.observed_updates += runs[i].observed_updates;
+    for (const auto& out : runs[i].outcomes) {
+      auto& agg = point.detectors[out.detector];
+      agg.score += out.score;
+      agg.belief_accuracy.add(out.belief_accuracy);
+    }
+  }
+  return result;
+}
+
+SweepSpec sweep() { return SweepSpec(); }
+SweepSpec sweep(OccupancyConfig base) { return SweepSpec(std::move(base)); }
+
+std::vector<OccupancyRunResult> run_specs(
+    const std::vector<OccupancyConfig>& configs, unsigned threads) {
+  for (const OccupancyConfig& cfg : configs) {
+    (void)Validated<OccupancyConfig>(cfg);
+  }
+  ThreadPool pool(threads);
+  return parallel_map(pool, configs, [](const OccupancyConfig& cfg) {
+    return run_occupancy_experiment(cfg);
+  });
+}
+
+}  // namespace psn::analysis

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <utility>
+
+namespace psn {
+
+/// A value of T that has passed its `validate(const T&)` check (found by
+/// ADL; it throws ConfigError on a bad value). APIs that take a
+/// `Validated<T>` make "this config was checked" part of the type: callers
+/// either construct one — validating exactly once, at the boundary — or pass
+/// a raw T through a convenience overload that does it for them. Nonsense
+/// configs (zero sensors, negative rates, Δ ≤ 0 under a bounded-delay model)
+/// are rejected up front instead of silently misbehaving mid-run.
+template <typename T>
+class Validated {
+ public:
+  explicit Validated(T value) : value_(std::move(value)) { validate(value_); }
+
+  const T& get() const { return value_; }
+  const T& operator*() const { return value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  T value_;
+};
+
+}  // namespace psn

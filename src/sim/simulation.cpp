@@ -15,15 +15,22 @@ Rng Simulation::rng_for(const std::string& name, std::uint64_t index) const {
 }
 
 std::size_t Simulation::run() {
+  truncated_ = false;
   std::size_t total = 0;
-  while (total < config_.max_events &&
-         scheduler_.next_time() <= config_.horizon) {
+  while (scheduler_.next_time() <= config_.horizon) {
+    if (total >= config_.max_events) {
+      // The cap fired with events still pending inside the horizon: a
+      // runaway (e.g. self-rescheduling) event loop. Stop and report
+      // truncation rather than executing toward SIZE_MAX.
+      truncated_ = true;
+      break;
+    }
     scheduler_.step();
     total++;
   }
-  if (total >= config_.max_events) {
+  if (truncated_) {
     PSN_WARN << "simulation hit max_events=" << config_.max_events
-             << " before horizon; results may be truncated";
+             << " before horizon; results are truncated";
   }
   return total;
 }

@@ -34,13 +34,21 @@ class Simulation {
   /// Independent RNG stream for a named component.
   Rng rng_for(const std::string& name, std::uint64_t index = 0) const;
 
-  /// Runs to the configured horizon; returns events executed.
+  /// Runs to the configured horizon; returns events executed. If the
+  /// `max_events` safety valve fired first, the run stops cleanly and
+  /// truncated() reports it — a runaway self-rescheduling event can never
+  /// spin the loop toward SIZE_MAX.
   std::size_t run();
+
+  /// True iff the last run() hit `max_events` with work still pending
+  /// before the horizon (i.e. results are truncated).
+  bool truncated() const { return truncated_; }
 
  private:
   SimConfig config_;
   Rng master_;
   Scheduler scheduler_;
+  bool truncated_ = false;
 };
 
 }  // namespace psn::sim

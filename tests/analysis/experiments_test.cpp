@@ -80,6 +80,26 @@ TEST(OccupancyExperimentTest, EffectiveToleranceAuto) {
   EXPECT_EQ(unbounded.effective_tolerance(), 2_s);
 }
 
+TEST(OccupancyExperimentTest, ValidatedOverloadMatchesRawOverload) {
+  const Validated<OccupancyConfig> checked(small_config(6));
+  const auto via_validated = run_occupancy_experiment(checked);
+  const auto via_raw = run_occupancy_experiment(small_config(6));
+  EXPECT_EQ(via_validated.world_events, via_raw.world_events);
+  EXPECT_EQ(via_validated.observed_updates, via_raw.observed_updates);
+}
+
+TEST(OccupancyExperimentTest, RejectsInvalidConfig) {
+  OccupancyConfig bad = small_config();
+  bad.doors = 0;
+  EXPECT_THROW(run_occupancy_experiment(bad), ConfigError);
+  bad = small_config();
+  bad.movement_rate = -5.0;
+  EXPECT_THROW(run_occupancy_experiment(bad), ConfigError);
+}
+
+// The deprecated shim stays exercised until its removal release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(ReplicationTest, SumsAcrossSeeds) {
   auto agg = run_occupancy_replicated(small_config(10), 3);
   ASSERT_EQ(agg.size(), 4u);
@@ -96,6 +116,7 @@ TEST(ReplicationTest, SumsAcrossSeeds) {
   }
   EXPECT_EQ(agg.at("strobe-vector").score.true_positives, tp_sum);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace psn::analysis

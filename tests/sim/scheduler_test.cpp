@@ -148,5 +148,22 @@ TEST(SchedulerTest, TotalExecutedCountsAcrossRuns) {
   EXPECT_EQ(s.total_executed(), 2u);
 }
 
+TEST(SchedulerTest, RunawaySelfReschedulerStopsAtCap) {
+  // Regression for the max_events/cap interplay: a callback that reschedules
+  // itself at the current instant would otherwise run run() to SIZE_MAX.
+  Scheduler s;
+  std::size_t fired = 0;
+  std::function<void()> runaway = [&] {
+    fired++;
+    s.schedule_at(s.now(), runaway);
+  };
+  s.schedule_at(at(1), runaway);
+  EXPECT_EQ(s.run(500), 500u);
+  EXPECT_EQ(fired, 500u);
+  EXPECT_EQ(s.pending(), 1u);  // the runaway is still queued, not lost
+  EXPECT_EQ(s.run(250), 250u);  // and a later run resumes from the cap
+  EXPECT_EQ(fired, 750u);
+}
+
 }  // namespace
 }  // namespace psn::sim

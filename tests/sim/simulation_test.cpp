@@ -39,6 +39,51 @@ TEST(SimulationTest, MaxEventsSafetyValve) {
   EXPECT_EQ(fired, 25);
 }
 
+TEST(SimulationTest, RunawaySameInstantRescheduleStopsAtCapAndReports) {
+  // Regression: an event that reschedules itself *at the current instant*
+  // never advances time, so only the max_events cap can stop it. The run
+  // must stop exactly at the cap and report truncation — not spin on toward
+  // SIZE_MAX.
+  SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 1_s;
+  cfg.max_events = 1000;
+  Simulation sim(cfg);
+  std::size_t fired = 0;
+  std::function<void()> runaway = [&] {
+    fired++;
+    sim.scheduler().schedule_after(Duration::zero(), runaway);
+  };
+  sim.scheduler().schedule_after(1_ms, runaway);
+  EXPECT_EQ(sim.run(), 1000u);
+  EXPECT_EQ(fired, 1000u);
+  EXPECT_TRUE(sim.truncated());
+  EXPECT_EQ(sim.scheduler().pending(), 1u);  // the cut-off reschedule
+}
+
+TEST(SimulationTest, CleanRunToHorizonIsNotTruncated) {
+  SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 10_ms;
+  Simulation sim(cfg);
+  sim.scheduler().schedule_after(1_ms, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.truncated());
+}
+
+TEST(SimulationTest, ExactlyCapEventsWithNoPendingWorkIsNotTruncated) {
+  // Cap/overflow interplay: finishing with total == max_events is only a
+  // truncation if work remained; a calendar that drained exactly at the cap
+  // is a complete run.
+  SimConfig cfg;
+  cfg.horizon = SimTime::zero() + 1_s;
+  cfg.max_events = 3;
+  Simulation sim(cfg);
+  for (int i = 1; i <= 3; ++i) {
+    sim.scheduler().schedule_after(Duration::millis(i), [] {});
+  }
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_FALSE(sim.truncated());
+}
+
 TEST(SimulationTest, RngForIsDeterministicPerComponent) {
   SimConfig cfg;
   cfg.seed = 99;
