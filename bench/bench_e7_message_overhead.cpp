@@ -17,6 +17,7 @@
 #include "analysis/energy.hpp"
 #include "analysis/experiments.hpp"
 #include "clocks/sync_protocols.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -41,20 +42,34 @@ int main() {
     cfg.seed = 7;
     const auto run = analysis::run_occupancy_experiment(cfg);
 
-    // Per-mode wire bytes: one broadcast per sense event reaches (n-1)+root
-    // receivers... accounting is per transmission, so recompute from the
-    // observed per-report payload sizes.
-    std::size_t scalar_bytes = 0, vector_bytes = 0, physical_bytes = 0;
-    // Reconstruct per-transmission sizes: each report was transmitted to
-    // (doors + 1 - 1) = doors receivers (all processes except the sender).
+    // Per-mode wire bytes, *measured by the transport*: every strobe
+    // transmission is priced under all three modes in parallel
+    // (MessageStats::strobe_mode_bytes), so one run answers E7 for each
+    // deployment option without re-running.
     const std::size_t fanout = doors;  // root + (doors-1) other sensors
+    const auto& mode_bytes = run.message_stats.strobe_mode_bytes;
+    const std::size_t scalar_bytes = mode_bytes.scalar;
+    const std::size_t vector_bytes = mode_bytes.vector;
+    // Physical mode needs no system-wide broadcast — report to root only, so
+    // divide out the broadcast fan-out the strobe accounting includes.
+    const std::size_t physical_bytes = mode_bytes.physical / fanout;
+
+    // Reconciliation: with zero loss every sense reaches the root exactly
+    // once, so observed_updates == reports, and the measured totals must
+    // equal reports x fanout x per-mode payload size. This is the check the
+    // old hand-computed version silently failed when wire_bytes() charged
+    // every mode at the vector payload size.
+    const std::size_t reports = run.observed_updates;
     net::SenseReportPayload sample;
     sample.strobe_vector = clocks::VectorStamp(doors + 1);
-    const std::size_t reports = run.observed_updates;
-    scalar_bytes = reports * fanout * sample.wire_bytes_scalar_mode();
-    vector_bytes = reports * fanout * sample.wire_bytes_vector_mode();
-    // Physical mode needs no system-wide broadcast — report to root only.
-    physical_bytes = reports * sample.wire_bytes_physical_mode();
+    PSN_CHECK(
+        scalar_bytes == reports * fanout * sample.wire_bytes_scalar_mode(),
+        "E7: measured scalar-mode bytes disagree with analytic count");
+    PSN_CHECK(
+        vector_bytes == reports * fanout * sample.wire_bytes_vector_mode(),
+        "E7: measured vector-mode bytes disagree with analytic count");
+    PSN_CHECK(physical_bytes == reports * sample.wire_bytes_physical_mode(),
+              "E7: measured physical-mode bytes disagree with analytic count");
 
     // Sync-protocol cost, measured: one pass per 30 s → 120 passes/hour.
     std::vector<clocks::DriftingClock> clocks_rbs, clocks_tpsn;

@@ -17,11 +17,17 @@
 //     --reps N           replications (seed, seed+1, ...)  (default 1)
 //     --threads N        sweep worker threads, 0 = all hardware threads
 //     --csv PATH         also write the scorecard as CSV
+//     --mode scalar|vector|physical     wire clock mode     (default vector)
+//     --metrics          print the merged metric snapshot table
+//     --trace PATH       write a JSONL event trace of one run (seed = --seed)
+//     --trace-cap N      trace ring capacity in records     (default 1000000)
 //
 // Examples:
 //   psn_cli --scenario hall --doors 8 --delta 250 --reps 10
 //   psn_cli --delay sync --delta 0        # the Δ=0 collapse
 //   psn_cli --loss 0.3 --seconds 120 --csv /tmp/lossy.csv
+//   psn_cli --mode scalar --metrics       # E7-style per-mode byte accounting
+//   psn_cli --trace /tmp/run.jsonl        # sense/send/deliver/... event log
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +35,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/export.hpp"
 #include "analysis/sweep.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -51,6 +58,10 @@ struct CliOptions {
   std::size_t reps = 1;
   unsigned threads = 0;  // 0 = one worker per hardware thread
   std::string csv;
+  std::string mode = "vector";
+  bool metrics = false;
+  std::string trace;
+  std::size_t trace_cap = 1000000;
 };
 
 [[noreturn]] void usage_error(const std::string& why) {
@@ -69,7 +80,9 @@ CliOptions parse_cli(int argc, char** argv) {
           "               [--capacity N] [--rate R] [--delta MS]\n"
           "               [--delay uniform|fixed|exp|sync] [--eps US]\n"
           "               [--loss P] [--seconds S] [--seed N] [--reps N]\n"
-          "               [--threads N] [--csv PATH]\n");
+          "               [--threads N] [--csv PATH]\n"
+          "               [--mode scalar|vector|physical] [--metrics]\n"
+          "               [--trace PATH] [--trace-cap N]\n");
       std::exit(0);
     }
     auto value = [&]() -> std::string {
@@ -104,6 +117,16 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.threads = static_cast<unsigned>(threads);
     } else if (flag == "--csv") {
       opt.csv = value();
+    } else if (flag == "--mode") {
+      opt.mode = value();
+    } else if (flag == "--metrics") {
+      opt.metrics = true;
+    } else if (flag == "--trace") {
+      opt.trace = value();
+    } else if (flag == "--trace-cap") {
+      const long long cap = std::atoll(value().c_str());
+      if (cap <= 0) usage_error("--trace-cap must be > 0");
+      opt.trace_cap = static_cast<std::size_t>(cap);
     } else {
       usage_error("unknown flag " + flag);
     }
@@ -120,6 +143,13 @@ core::DelayKind delay_kind_of(const std::string& name) {
   if (name == "exp") return core::DelayKind::kExponential;
   if (name == "sync") return core::DelayKind::kSynchronous;
   usage_error("unknown delay model '" + name + "'");
+}
+
+net::ClockMode clock_mode_of(const std::string& name) {
+  if (name == "scalar") return net::ClockMode::kScalarStrobe;
+  if (name == "vector") return net::ClockMode::kVectorStrobe;
+  if (name == "physical") return net::ClockMode::kPhysical;
+  usage_error("unknown clock mode '" + name + "'");
 }
 
 }  // namespace
@@ -139,6 +169,7 @@ int main(int argc, char** argv) {
   cfg.loss_probability = opt.loss;
   cfg.horizon = Duration::seconds(opt.seconds);
   cfg.seed = opt.seed;
+  cfg.clock_mode = clock_mode_of(opt.mode);
   if (opt.scenario == "office") {
     cfg.doors = std::max<std::size_t>(2, opt.doors);
     cfg.capacity = 5;  // small-room occupancy
@@ -154,12 +185,13 @@ int main(int argc, char** argv) {
 
   std::printf(
       "scenario=%s doors=%zu capacity=%d rate=%.1f/s delay=%s delta=%lldms "
-      "eps=%lldus loss=%.2f horizon=%llds reps=%zu seed=%llu\n\n",
+      "eps=%lldus loss=%.2f horizon=%llds reps=%zu seed=%llu mode=%s\n\n",
       opt.scenario.c_str(), cfg.doors, cfg.capacity, cfg.movement_rate,
       opt.delay.c_str(), static_cast<long long>(opt.delta_ms),
       static_cast<long long>(opt.eps_us), opt.loss,
       static_cast<long long>(opt.seconds), opt.reps,
-      static_cast<unsigned long long>(opt.seed));
+      static_cast<unsigned long long>(opt.seed),
+      net::to_string(cfg.clock_mode));
 
   analysis::SweepResult result;
   try {
@@ -191,6 +223,38 @@ int main(int argc, char** argv) {
   if (!opt.csv.empty()) {
     table.write_csv(opt.csv);
     std::printf("\nwrote %s\n", opt.csv.c_str());
+  }
+
+  if (opt.metrics) {
+    std::printf("\nmetrics (merged over %zu run%s):\n", result.runs,
+                result.runs == 1 ? "" : "s");
+    std::printf("%s",
+                result.points.front().metrics.table().ascii().c_str());
+  }
+
+  if (!opt.trace.empty()) {
+    // The sweep merges snapshots but keeps no raw per-run trace; re-run the
+    // base point (first seed) once with the trace ring enabled.
+    analysis::OccupancyConfig traced = cfg;
+    traced.trace_capacity = opt.trace_cap;
+    try {
+      const analysis::OccupancyRunResult run =
+          analysis::run_occupancy_experiment(traced);
+      analysis::write_trace_jsonl(run.trace, opt.trace);
+      std::printf("\nwrote %s (%zu records%s)\n", opt.trace.c_str(),
+                  run.trace.size(),
+                  run.trace_evicted > 0 ? ", ring overflowed — oldest evicted"
+                                        : "");
+      if (run.trace_evicted > 0) {
+        std::fprintf(stderr,
+                     "psn_cli: trace ring evicted %zu records; rerun with "
+                     "--trace-cap > %zu for a complete trace\n",
+                     run.trace_evicted, opt.trace_cap);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psn_cli: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

@@ -64,8 +64,10 @@ OccupancyRunResult run_occupancy_experiment(
   sys.num_sensors = config.doors;
   sys.sim.seed = config.seed;
   sys.sim.horizon = SimTime::zero() + config.horizon;
+  sys.sim.trace_capacity = config.trace_capacity;
   sys.delay_kind = config.delay_kind;
   sys.delta = config.delta;
+  sys.clock_mode = config.clock_mode;
   sys.clock_config.sync_epsilon = config.sync_epsilon;
   sys.loss_probability = config.loss_probability;
   sys.loss_windows = config.loss_windows;
@@ -108,6 +110,29 @@ OccupancyRunResult run_occupancy_experiment(
   ScoreConfig score_cfg;
   score_cfg.tolerance = config.effective_tolerance();
 
+  // Per-kind traffic detail for the metric snapshot (the transport keeps
+  // aggregate counters live; the per-kind split lives in MessageStats).
+  MetricsRegistry& metrics = system.sim().metrics();
+  for (const net::MessageKind kind :
+       {net::MessageKind::kComputation, net::MessageKind::kStrobe,
+        net::MessageKind::kSync, net::MessageKind::kActuation}) {
+    const auto& ks = result.message_stats.of(kind);
+    if (ks.sent == 0 && ks.unreachable == 0) continue;
+    const std::string prefix = std::string("net.") + net::to_string(kind);
+    metrics.counter(prefix + ".sent").inc(ks.sent);
+    metrics.counter(prefix + ".delivered").inc(ks.delivered);
+    metrics.counter(prefix + ".dropped").inc(ks.dropped);
+    metrics.counter(prefix + ".unreachable").inc(ks.unreachable);
+    metrics.counter(prefix + ".bytes_sent").inc(ks.bytes_sent);
+  }
+  const auto& mode_bytes = result.message_stats.strobe_mode_bytes;
+  metrics.counter("net.strobe.bytes_scalar_mode").inc(mode_bytes.scalar);
+  metrics.counter("net.strobe.bytes_vector_mode").inc(mode_bytes.vector);
+  metrics.counter("net.strobe.bytes_physical_mode").inc(mode_bytes.physical);
+  metrics.counter("world.events").inc(result.world_events);
+  metrics.counter("root.observed_updates").inc(result.observed_updates);
+
+  sim::TraceRecorder* trace = system.sim().trace();
   for (const auto& detector : core::all_online_detectors()) {
     DetectorOutcome out;
     out.detector = detector->name();
@@ -115,7 +140,31 @@ OccupancyRunResult run_occupancy_experiment(
     out.score = score_detections(result.oracle, out.detections, score_cfg);
     out.belief_accuracy =
         belief_accuracy(result.oracle, out.detections, sys.sim.horizon);
+    const std::string prefix = "detector." + out.detector;
+    metrics.counter(prefix + ".detections").inc(out.detections.size());
+    metrics.counter(prefix + ".true_positives").inc(out.score.true_positives);
+    metrics.counter(prefix + ".false_positives")
+        .inc(out.score.false_positives);
+    metrics.counter(prefix + ".false_negatives")
+        .inc(out.score.false_negatives);
+    metrics.counter(prefix + ".borderline").inc(out.score.borderline_detections);
+    metrics.stat(prefix + ".belief_accuracy").add(out.belief_accuracy);
+    if (trace != nullptr) {
+      // Detection records are appended after the network records (the
+      // detectors replay the log offline); `at` is still sim-time.
+      for (const core::Detection& d : out.detections) {
+        trace->record({d.detected_at, sim::TraceKind::kDetect, 0, kNoProcess,
+                       -1, 0,
+                       out.detector + (d.to_true ? ":true" : ":false")});
+      }
+    }
     result.outcomes.push_back(std::move(out));
+  }
+
+  result.metrics = metrics.snapshot();
+  if (trace != nullptr) {
+    result.trace = trace->records();
+    result.trace_evicted = trace->evicted();
   }
   return result;
 }

@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "analysis/scoring.hpp"
+#include "common/metrics.hpp"
 #include "common/validated.hpp"
 #include "core/system.hpp"
 #include "net/transport.hpp"
+#include "sim/trace.hpp"
 #include "world/scenarios.hpp"
 
 namespace psn::analysis {
@@ -37,6 +39,15 @@ struct OccupancyConfig {
   std::optional<net::DutyCycle> duty_cycle;
   bool duty_phases_aligned = true;
 
+  /// Clock mode charged on the wire (per-mode E7 byte accounting; see
+  /// net::ClockMode). Detection always scores every model side by side.
+  net::ClockMode clock_mode = net::ClockMode::kVectorStrobe;
+
+  /// Event-trace ring capacity (records); 0 = tracing off. When on, the
+  /// run's sense/send/receive/deliver/drop/detect records are returned in
+  /// OccupancyRunResult::trace.
+  std::size_t trace_capacity = 0;
+
   /// Scoring tolerance; zero means "auto": 2Δ + 1 ms.
   Duration score_tolerance = Duration::zero();
 
@@ -63,6 +74,14 @@ struct OccupancyRunResult {
   std::size_t observed_updates = 0;
   std::size_t world_events = 0;
   Duration delta_bound;
+
+  /// Snapshot of the run's MetricsRegistry: sim/net/world/detector counters
+  /// (the sweep engine merges these per grid point, deterministically).
+  MetricsSnapshot metrics;
+  /// The run's event trace (empty unless config.trace_capacity > 0).
+  std::vector<sim::TraceRecord> trace;
+  /// Records the trace ring evicted; 0 means `trace` is complete.
+  std::size_t trace_evicted = 0;
 
   const DetectorOutcome& outcome(const std::string& detector) const;
 };

@@ -1,5 +1,11 @@
 #include "analysis/export.hpp"
 
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "net/message.hpp"
+
 namespace psn::analysis {
 
 Table timeline_table(const world::WorldTimeline& timeline) {
@@ -44,6 +50,81 @@ Table detections_table(const std::vector<core::Detection>& detections) {
         .cell(d.update_index);
   }
   return t;
+}
+
+Table metrics_table(const MetricsSnapshot& snapshot) {
+  return snapshot.table();
+}
+
+namespace {
+
+// Escapes a string for a JSON string literal (quotes, backslashes, control
+// characters — the only bytes our trace notes can legally need).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string trace_jsonl(const std::vector<sim::TraceRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 80);
+  char buf[64];
+  for (const sim::TraceRecord& r : records) {
+    out += "{\"t\":";
+    std::snprintf(buf, sizeof(buf), "%.9f", r.at.to_seconds());
+    out += buf;
+    out += ",\"kind\":\"";
+    out += sim::to_string(r.kind);
+    out += "\",\"pid\":";
+    out += std::to_string(r.pid);
+    if (r.peer != kNoProcess) {
+      out += ",\"peer\":";
+      out += std::to_string(r.peer);
+    }
+    if (r.message_kind >= 0 &&
+        r.message_kind <= static_cast<int>(net::MessageKind::kActuation)) {
+      out += ",\"msg\":\"";
+      out += net::to_string(static_cast<net::MessageKind>(r.message_kind));
+      out += '"';
+    }
+    out += ",\"bytes\":";
+    out += std::to_string(r.bytes);
+    if (!r.note.empty()) {
+      out += ",\"note\":\"";
+      out += json_escape(r.note);
+      out += '"';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void write_trace_jsonl(const std::vector<sim::TraceRecord>& records,
+                       const std::string& path) {
+  std::ofstream f(path);
+  PSN_CHECK(f.good(), "cannot open trace output path: " + path);
+  f << trace_jsonl(records);
 }
 
 Table occurrences_table(const core::OracleResult& oracle) {

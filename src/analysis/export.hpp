@@ -1,11 +1,14 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/detectors.hpp"
 #include "core/observation.hpp"
 #include "core/oracle.hpp"
+#include "sim/trace.hpp"
 #include "world/timeline.hpp"
 
 namespace psn::analysis {
@@ -29,5 +32,18 @@ Table detections_table(const std::vector<core::Detection>& detections);
 
 /// Oracle occurrences: begin_s, end_s, duration_s.
 Table occurrences_table(const core::OracleResult& oracle);
+
+/// Metric snapshot rows: name, kind, value (stats/histograms render compact
+/// summaries). Same rows as MetricsSnapshot::table(); exported here so the
+/// interchange layer is one include.
+Table metrics_table(const MetricsSnapshot& snapshot);
+
+/// Serializes trace records as JSON Lines, one object per record:
+///   {"t":1.25,"kind":"send","pid":3,"peer":0,"msg":"strobe","bytes":57}
+/// `msg` carries the net::MessageKind name (omitted for non-message
+/// records); `note` appears when non-empty (sense attribute, detector name).
+std::string trace_jsonl(const std::vector<sim::TraceRecord>& records);
+void write_trace_jsonl(const std::vector<sim::TraceRecord>& records,
+                       const std::string& path);
 
 }  // namespace psn::analysis

@@ -51,6 +51,21 @@ Table SweepResult::summary_table() const {
   return table;
 }
 
+Table SweepResult::metrics_table() const {
+  Table table({"point", "name", "kind", "value"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Table point_metrics = points[i].metrics.table();
+    for (std::size_t r = 0; r < point_metrics.num_rows(); ++r) {
+      table.row()
+          .cell(i)
+          .cell(point_metrics.at(r, 0))
+          .cell(point_metrics.at(r, 1))
+          .cell(point_metrics.at(r, 2));
+    }
+  }
+  return table;
+}
+
 SweepSpec& SweepSpec::base(OccupancyConfig cfg) {
   base_ = std::move(cfg);
   return *this;
@@ -186,6 +201,7 @@ SweepResult SweepSpec::run() const {
     PointResult& point = result.points[specs[i].point];
     point.world_events += runs[i].world_events;
     point.observed_updates += runs[i].observed_updates;
+    point.metrics.merge(runs[i].metrics);
     for (const auto& out : runs[i].outcomes) {
       auto& agg = point.detectors[out.detector];
       agg.score += out.score;

@@ -30,6 +30,9 @@ struct PointResult {
   std::map<std::string, AggregatedOutcome> detectors;
   std::size_t world_events = 0;      ///< summed across replications
   std::size_t observed_updates = 0;  ///< summed across replications
+  /// Per-run metric snapshots merged across the point's replications, in
+  /// seed order — deterministic at any thread count, like the scores.
+  MetricsSnapshot metrics;
 
   const AggregatedOutcome& at(const std::string& detector) const;
 };
@@ -45,6 +48,11 @@ struct SweepResult {
   /// thread count — must serialize identically; tests compare these bytes.
   Table summary_table() const;
   std::string csv() const { return summary_table().csv(); }
+
+  /// One row per (point, metric), name-sorted within each point — the same
+  /// byte-identical-at-any-thread-count guarantee as summary_table().
+  Table metrics_table() const;
+  std::string metrics_csv() const { return metrics_table().csv(); }
 };
 
 /// Builder for a config × seed grid, the single entry point for every

@@ -63,16 +63,7 @@ std::string RunningStats::summary() const {
 }
 
 void SampleSet::add(double x) {
-  xs_.push_back(x);
-  sorted_ = xs_.size() <= 1;
-}
-
-void SampleSet::ensure_sorted() const {
-  if (!sorted_) {
-    auto& xs = const_cast<std::vector<double>&>(xs_);
-    std::sort(xs.begin(), xs.end());
-    const_cast<bool&>(sorted_) = true;
-  }
+  xs_.insert(std::upper_bound(xs_.begin(), xs_.end(), x), x);
 }
 
 double SampleSet::mean() const {
@@ -90,20 +81,13 @@ double SampleSet::stddev() const {
   return std::sqrt(s / static_cast<double>(xs_.size() - 1));
 }
 
-double SampleSet::min() const {
-  ensure_sorted();
-  return xs_.empty() ? 0.0 : xs_.front();
-}
+double SampleSet::min() const { return xs_.empty() ? 0.0 : xs_.front(); }
 
-double SampleSet::max() const {
-  ensure_sorted();
-  return xs_.empty() ? 0.0 : xs_.back();
-}
+double SampleSet::max() const { return xs_.empty() ? 0.0 : xs_.back(); }
 
 double SampleSet::percentile(double p) const {
   PSN_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
   if (xs_.empty()) return 0.0;
-  ensure_sorted();
   if (xs_.size() == 1) return xs_[0];
   const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -38,6 +38,13 @@ class RunningStats {
 
 /// Keeps all samples; supports exact percentiles. Use for detection-latency
 /// style metrics where tails matter and sample counts are modest.
+///
+/// Samples are kept sorted eagerly on insertion (binary search + insert, so
+/// add() is O(n) — fine at the sample counts this class is for). That makes
+/// every const observer a pure read with no hidden mutation, so concurrent
+/// reads of a fully built SampleSet are safe — e.g. sweep workers sharing a
+/// merged result. Interleaving add() with reads still needs external
+/// synchronization, like any container.
 class SampleSet {
  public:
   void add(double x);
@@ -50,12 +57,11 @@ class SampleSet {
   /// Exact percentile by linear interpolation, p in [0, 100].
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
+  /// The samples in ascending order.
   const std::vector<double>& samples() const { return xs_; }
 
  private:
-  void ensure_sorted() const;
-  std::vector<double> xs_;
-  mutable bool sorted_ = true;
+  std::vector<double> xs_;  // invariant: ascending
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples go to clamp bins.

@@ -68,6 +68,10 @@ void SensorNode::sense(const world::WorldEvent& ev) {
   record_event(EventType::kSense, var, ev.value.numeric(), ev.index);
 
   const SimTime now = sim_.now();
+  if (sim::TraceRecorder* tr = sim_.trace()) {
+    tr->record({now, sim::TraceKind::kSense, pid_, kNoProcess, -1, 0,
+                ev.attribute});
+  }
   net::Message msg;
   msg.src = pid_;
   msg.kind = net::MessageKind::kStrobe;
@@ -139,6 +143,10 @@ void SensorNode::on_message(const net::Message& msg) {
     case net::MessageKind::kComputation: {
       bundle_.on_receive(msg.computation().stamps);  // SC3/VC3
       record_event(EventType::kReceive);
+      if (sim::TraceRecorder* tr = sim_.trace()) {
+        tr->record({sim_.now(), sim::TraceKind::kReceive, pid_, msg.src,
+                    static_cast<int>(msg.kind), 0, {}});
+      }
       break;
     }
     case net::MessageKind::kActuation: {

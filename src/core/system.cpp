@@ -80,6 +80,7 @@ PervasiveSystem::PervasiveSystem(SystemConfig config)
   transport_ = std::make_unique<net::Transport>(
       *sim_, make_overlay(config_.topology, n), make_delay(config_),
       make_loss(config_), sim_->rng_for("transport"));
+  transport_->set_clock_mode(config_.clock_mode);
 
   root_ = std::make_unique<RootMonitor>(0, n, *sim_, config_.clock_config,
                                         sim_->rng_for("clock", 0));

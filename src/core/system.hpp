@@ -31,6 +31,10 @@ struct SystemConfig {
   /// The Δ of the delay model (bound, mean, or fixed value by kind).
   Duration delta = Duration::millis(100);
 
+  /// Clock mode the transport charges on the wire (per-mode E7 byte
+  /// accounting). Default: vector strobes, the fattest option.
+  net::ClockMode clock_mode = net::ClockMode::kVectorStrobe;
+
   TopologyKind topology = TopologyKind::kComplete;
 
   /// Independent per-transmission loss probability (0 = lossless).

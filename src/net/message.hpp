@@ -25,6 +25,21 @@ enum class MessageKind : std::uint8_t {
 
 const char* to_string(MessageKind k);
 
+/// Which single time-model implementation a deployment actually puts on the
+/// wire. The simulation always carries every stamp in one strobe broadcast
+/// (so all detectors can be scored on the same run — paired comparison), but
+/// a *real* node would serialize only its own mode's timestamp. Byte
+/// accounting (experiment E7, "this service is not for free") must therefore
+/// charge the active mode, not the fattest payload: the transport is told
+/// the mode and prices every strobe with the matching wire_bytes_*_mode().
+enum class ClockMode : std::uint8_t {
+  kScalarStrobe,  ///< O(1) strobe scalar stamp + pid
+  kVectorStrobe,  ///< O(n) strobe vector stamp + pid
+  kPhysical,      ///< ε-synchronized physical timestamp
+};
+
+const char* to_string(ClockMode m);
+
 /// Payload of a strobe broadcast. One broadcast serves every detector under
 /// comparison: it carries the sensed update plus the stamps of *all* time
 /// models, so a single simulated execution can be scored per model. Per-model
@@ -98,5 +113,15 @@ struct Message {
 
 /// Nominal wire header: src, dst, kind, length.
 inline constexpr std::size_t kWireHeaderBytes = 12;
+
+/// On-the-wire size of `msg` when the deployment runs clock mode `mode`
+/// (mode only affects strobe sense reports; computation and actuation
+/// payloads are mode-independent).
+std::size_t wire_bytes(const Message& msg, ClockMode mode);
+
+/// Convenience overload for the fattest (vector-strobe) pricing — what the
+/// simulated broadcast actually carries. Per-mode accounting must use the
+/// two-argument form.
+std::size_t wire_bytes(const Message& msg);
 
 }  // namespace psn::net

@@ -16,6 +16,15 @@ const char* to_string(MessageKind k) {
   return "?";
 }
 
+const char* to_string(ClockMode m) {
+  switch (m) {
+    case ClockMode::kScalarStrobe: return "scalar";
+    case ClockMode::kVectorStrobe: return "vector";
+    case ClockMode::kPhysical: return "physical";
+  }
+  return "?";
+}
+
 namespace {
 constexpr std::size_t kObjectIdBytes = 4;
 constexpr std::size_t kAttrIdBytes = 4;
@@ -45,14 +54,32 @@ std::size_t ComputationPayload::wire_bytes() const {
          stamps.causal_vector.wire_size() + body_bytes;
 }
 
-std::size_t wire_bytes(const Message& msg) {
+std::size_t wire_bytes(const Message& msg, ClockMode mode) {
   if (std::holds_alternative<SenseReportPayload>(msg.payload)) {
-    return msg.sense_report().wire_bytes_vector_mode();
+    const SenseReportPayload& report = msg.sense_report();
+    switch (mode) {
+      case ClockMode::kScalarStrobe: return report.wire_bytes_scalar_mode();
+      case ClockMode::kVectorStrobe: return report.wire_bytes_vector_mode();
+      case ClockMode::kPhysical: return report.wire_bytes_physical_mode();
+    }
   }
   if (std::holds_alternative<ComputationPayload>(msg.payload)) {
     return msg.computation().wire_bytes();
   }
   return kWireHeaderBytes + 16;  // actuation: command id + issue time
+}
+
+std::size_t wire_bytes(const Message& msg) {
+  return wire_bytes(msg, ClockMode::kVectorStrobe);
+}
+
+std::size_t MessageStats::StrobeModeBytes::of(ClockMode mode) const {
+  switch (mode) {
+    case ClockMode::kScalarStrobe: return scalar;
+    case ClockMode::kVectorStrobe: return vector;
+    case ClockMode::kPhysical: return physical;
+  }
+  return 0;
 }
 
 std::size_t MessageStats::total_sent() const {
@@ -79,6 +106,13 @@ Transport::Transport(sim::Simulation& sim, Overlay overlay,
       wake_(overlay_.size()) {
   PSN_CHECK(delay_ != nullptr, "transport needs a delay model");
   PSN_CHECK(loss_ != nullptr, "transport needs a loss model");
+  MetricsRegistry& m = sim_.metrics();
+  sent_metric_ = m.counter("net.sent");
+  bytes_metric_ = m.counter("net.bytes_sent");
+  delivered_metric_ = m.counter("net.delivered");
+  dropped_metric_ = m.counter("net.dropped");
+  unreachable_metric_ = m.counter("net.unreachable");
+  delay_ms_metric_ = m.histogram("net.delivery_delay_ms", 0.0, 1000.0, 50);
 }
 
 void Transport::set_wake_schedule(ProcessId pid, const DutyCycle& schedule) {
@@ -117,19 +151,49 @@ void Transport::broadcast(Message msg) {
 
 void Transport::transmit(Message msg) {
   auto& ks = stats_.of(msg.kind);
-  ks.sent++;
-  ks.bytes_sent += wire_bytes(msg);
-  msg.sent_at = sim_.now();
+  const auto kind_index = static_cast<int>(msg.kind);
 
+  // Reachability first: a message with no route never leaves the node, so
+  // it must not inflate sent/bytes totals (partition scenarios otherwise
+  // overstate radio cost). Unreachable is its own tally.
   const std::size_t hops = overlay_.hop_distance(msg.src, msg.dst);
   if (hops == SIZE_MAX) {
     ks.unreachable++;
+    unreachable_metric_.inc();
+    if (sim::TraceRecorder* tr = sim_.trace()) {
+      tr->record({sim_.now(), sim::TraceKind::kUnreachable, msg.src, msg.dst,
+                  kind_index, 0, {}});
+    }
     return;
   }
+
+  const std::size_t bytes = wire_bytes(msg, clock_mode_);
+  ks.sent++;
+  ks.bytes_sent += bytes;
+  sent_metric_.inc();
+  bytes_metric_.inc(bytes);
+  if (msg.kind == MessageKind::kStrobe) {
+    // Shadow per-mode totals: one run answers E7 for all three options.
+    const SenseReportPayload& report = msg.sense_report();
+    stats_.strobe_mode_bytes.scalar += report.wire_bytes_scalar_mode();
+    stats_.strobe_mode_bytes.vector += report.wire_bytes_vector_mode();
+    stats_.strobe_mode_bytes.physical += report.wire_bytes_physical_mode();
+  }
+  msg.sent_at = sim_.now();
+  if (sim::TraceRecorder* tr = sim_.trace()) {
+    tr->record({sim_.now(), sim::TraceKind::kSend, msg.src, msg.dst,
+                kind_index, bytes, {}});
+  }
+
   Duration total = Duration::zero();
   for (std::size_t h = 0; h < hops; ++h) {
     if (loss_->drop(sim_.now(), rng_)) {
       ks.dropped++;
+      dropped_metric_.inc();
+      if (sim::TraceRecorder* tr = sim_.trace()) {
+        tr->record({sim_.now(), sim::TraceKind::kDrop, msg.src, msg.dst,
+                    kind_index, bytes, {}});
+      }
       return;
     }
     total += delay_->sample(rng_);
@@ -149,12 +213,19 @@ void Transport::transmit(Message msg) {
     total = at - sim_.now();
   }
   const ProcessId dst = msg.dst;
-  sim_.scheduler().schedule_after(total, [this, msg = std::move(msg), dst]() mutable {
+  sim_.scheduler().schedule_after(total, [this, msg = std::move(msg), dst,
+                                          bytes]() mutable {
     auto& stats = stats_.of(msg.kind);
     PSN_CHECK(static_cast<bool>(handlers_[dst]),
               "no handler registered for destination process");
     msg.delivered_at = sim_.now();
     stats.delivered++;
+    delivered_metric_.inc();
+    delay_ms_metric_.add((msg.delivered_at - msg.sent_at).to_millis());
+    if (sim::TraceRecorder* tr = sim_.trace()) {
+      tr->record({sim_.now(), sim::TraceKind::kDeliver, dst, msg.src,
+                  static_cast<int>(msg.kind), bytes, {}});
+    }
     handlers_[dst](msg);
   });
 }

@@ -20,13 +20,27 @@ namespace psn::net {
 
 /// Per-kind traffic accounting — experiment E7's raw data ("this service is
 /// not for free": the cost of each time-model option is messages and bytes).
+///
+/// `sent`/`bytes_sent` count only messages that actually left the node:
+/// destinations with no overlay path are tallied under `unreachable` and
+/// charge no radio bytes (the radio never keys up without a route).
 struct MessageStats {
   struct KindStats {
     std::size_t sent = 0;        ///< transmissions attempted (per destination)
     std::size_t delivered = 0;
     std::size_t dropped = 0;     ///< lost to the loss model
-    std::size_t unreachable = 0; ///< no path in the overlay
-    std::size_t bytes_sent = 0;
+    std::size_t unreachable = 0; ///< no path in the overlay; not in `sent`
+    std::size_t bytes_sent = 0;  ///< priced at the transport's clock mode
+  };
+
+  /// What `bytes_sent` of the strobe kind *would have been* under each clock
+  /// mode. All three are accumulated on every strobe transmission, so one
+  /// simulated run yields the full E7 per-mode comparison without replaying.
+  struct StrobeModeBytes {
+    std::size_t scalar = 0;
+    std::size_t vector = 0;
+    std::size_t physical = 0;
+    std::size_t of(ClockMode mode) const;
   };
 
   KindStats& of(MessageKind k) { return per_kind_[static_cast<std::size_t>(k)]; }
@@ -36,13 +50,11 @@ struct MessageStats {
   std::size_t total_sent() const;
   std::size_t total_bytes() const;
 
+  StrobeModeBytes strobe_mode_bytes;
+
  private:
   std::array<KindStats, 4> per_kind_{};
 };
-
-/// Nominal on-the-wire size of a message (vector-strobe mode for strobes;
-/// per-mode E7 accounting recomputes from the payload helpers).
-std::size_t wire_bytes(const Message& msg);
 
 /// Asynchronous message-passing transport over the overlay L.
 ///
@@ -56,6 +68,13 @@ class Transport {
   Transport(sim::Simulation& sim, Overlay overlay,
             std::unique_ptr<DelayModel> delay, std::unique_ptr<LossModel> loss,
             Rng rng);
+
+  /// Sets the clock mode used to price strobe payloads on the wire (see
+  /// ClockMode). Default is kVectorStrobe — the fattest option and the one
+  /// the simulated broadcast actually carries. Scalar/physical deployments
+  /// must set their mode or byte accounting overstates their cost.
+  void set_clock_mode(ClockMode mode) { clock_mode_ = mode; }
+  ClockMode clock_mode() const { return clock_mode_; }
 
   /// When enabled, deliveries between each ordered (src, dst) pair never
   /// overtake one another: a message's delivery time is clamped to be after
@@ -96,6 +115,15 @@ class Transport {
   Rng rng_;
   std::vector<Handler> handlers_;
   MessageStats stats_;
+  ClockMode clock_mode_ = ClockMode::kVectorStrobe;
+  // Aggregate observability handles into the run's MetricsRegistry
+  // (per-kind detail stays in MessageStats).
+  MetricsRegistry::Counter sent_metric_;
+  MetricsRegistry::Counter bytes_metric_;
+  MetricsRegistry::Counter delivered_metric_;
+  MetricsRegistry::Counter dropped_metric_;
+  MetricsRegistry::Counter unreachable_metric_;
+  MetricsRegistry::Hist delay_ms_metric_;
   bool fifo_ = false;
   /// Last scheduled delivery time per (src, dst), for FIFO clamping.
   std::map<std::pair<ProcessId, ProcessId>, SimTime> last_delivery_;

@@ -12,6 +12,7 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   const std::uint64_t id = next_id_++;
   queue_.push(QueueKey{at, next_seq_++, id});
   live_.emplace(id, std::move(fn));
+  scheduled_metric_.inc();
   return EventHandle(id);
 }
 
@@ -22,7 +23,15 @@ EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
 
 void Scheduler::cancel(EventHandle h) {
   if (!h.valid()) return;
-  live_.erase(h.id_);  // queue entry becomes a tombstone, skipped on pop
+  if (live_.erase(h.id_) > 0) {  // queue entry becomes a tombstone
+    cancelled_metric_.inc();
+  }
+}
+
+void Scheduler::bind_metrics(MetricsRegistry& registry) {
+  executed_metric_ = registry.counter("sim.events_executed");
+  scheduled_metric_ = registry.counter("sim.events_scheduled");
+  cancelled_metric_ = registry.counter("sim.events_cancelled");
 }
 
 void Scheduler::execute_top() {
@@ -34,6 +43,7 @@ void Scheduler::execute_top() {
   live_.erase(it);
   now_ = key.at;
   executed_++;
+  executed_metric_.inc();
   fn();
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/sim_time.hpp"
 
 namespace psn::sim {
@@ -58,6 +59,11 @@ class Scheduler {
   std::size_t pending() const { return live_.size(); }
   std::uint64_t total_executed() const { return executed_; }
 
+  /// Binds the calendar's observability counters (executed/scheduled/
+  /// cancelled events). Simulation wires this to its run-local registry; an
+  /// unbound scheduler pays only a null-pointer check per event.
+  void bind_metrics(MetricsRegistry& registry);
+
  private:
   struct QueueKey {
     SimTime at;
@@ -77,6 +83,9 @@ class Scheduler {
   std::uint64_t executed_ = 0;
   std::priority_queue<QueueKey, std::vector<QueueKey>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, Callback> live_;
+  MetricsRegistry::Counter executed_metric_;
+  MetricsRegistry::Counter scheduled_metric_;
+  MetricsRegistry::Counter cancelled_metric_;
 };
 
 }  // namespace psn::sim

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
 
 namespace psn::sim {
 
@@ -16,12 +19,21 @@ struct SimConfig {
   SimTime horizon = SimTime::from_seconds(60.0);
   /// Safety valve against runaway event loops.
   std::size_t max_events = 50'000'000;
+  /// Ring-buffer capacity of the optional per-run event trace (sim/trace);
+  /// 0 (default) disables tracing entirely — no record is ever built.
+  std::size_t trace_capacity = 0;
 };
 
 /// Owns the scheduler and the master RNG for one run.
 ///
 /// Components derive their own RNG substreams via `rng_for(name, index)`, so
 /// the draw sequence of one component is independent of the others (see Rng).
+///
+/// Observability: every run owns a MetricsRegistry (components register
+/// named counters/gauges/histograms at wiring time and update them via cheap
+/// handles) and, when `SimConfig::trace_capacity > 0`, a TraceRecorder that
+/// components append sense/send/receive/deliver/drop/detect records to.
+/// Both are confined to the thread running the simulation.
 class Simulation {
  public:
   explicit Simulation(SimConfig config);
@@ -30,6 +42,17 @@ class Simulation {
   const Scheduler& scheduler() const { return scheduler_; }
   SimTime now() const { return scheduler_.now(); }
   const SimConfig& config() const { return config_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The per-run event trace, or nullptr when tracing is off. Hot paths
+  /// guard on the pointer, so a disabled trace costs one branch.
+  TraceRecorder* trace() { return trace_.get(); }
+  const TraceRecorder* trace() const { return trace_.get(); }
+  /// Enables tracing with the given ring capacity (idempotent; re-enabling
+  /// with a different capacity restarts the buffer).
+  void enable_trace(std::size_t capacity);
 
   /// Independent RNG stream for a named component.
   Rng rng_for(const std::string& name, std::uint64_t index = 0) const;
@@ -47,7 +70,9 @@ class Simulation {
  private:
   SimConfig config_;
   Rng master_;
+  MetricsRegistry metrics_;
   Scheduler scheduler_;
+  std::unique_ptr<TraceRecorder> trace_;
   bool truncated_ = false;
 };
 

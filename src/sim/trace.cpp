@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace psn::sim {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSense: return "sense";
+    case TraceKind::kSend: return "send";
+    case TraceKind::kReceive: return "receive";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kUnreachable: return "unreachable";
+    case TraceKind::kDetect: return "detect";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  PSN_CHECK(capacity_ > 0, "trace capacity must be positive");
+}
+
+void TraceRecorder::record(TraceRecord r) {
+  recorded_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(r));
+    return;
+  }
+  ring_[head_] = std::move(r);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> TraceRecorder::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace psn::sim

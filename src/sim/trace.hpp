@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace psn::sim {
+
+/// Observable moments in a run's life that the trace records. The network
+/// records come from the transport, kSense/kReceive from the process event
+/// rules, kDetect from the detectors' transition streams.
+enum class TraceKind : std::uint8_t {
+  kSense,        ///< n event: a sensor observed a world change
+  kSend,         ///< a message left its source (radio keyed up)
+  kReceive,      ///< r event: a computation message was processed
+  kDeliver,      ///< the transport handed a message to its destination
+  kDrop,         ///< the loss model ate a transmission
+  kUnreachable,  ///< no overlay path to the destination; never transmitted
+  kDetect,       ///< a detector reported a predicate transition
+};
+
+const char* to_string(TraceKind k);
+
+/// One trace record. `message_kind` is the numeric net::MessageKind for
+/// message records and -1 otherwise (the sim layer cannot name net types —
+/// exporters translate). `bytes` is the on-the-wire size charged by the
+/// transport's active clock mode, so summing kSend bytes per message kind
+/// reproduces MessageStats exactly.
+struct TraceRecord {
+  SimTime at;
+  TraceKind kind = TraceKind::kSense;
+  ProcessId pid = kNoProcess;   ///< acting process
+  ProcessId peer = kNoProcess;  ///< other endpoint, if any
+  int message_kind = -1;
+  std::size_t bytes = 0;
+  std::string note;  ///< attribute on kSense, detector name on kDetect
+};
+
+/// Bounded ring buffer of TraceRecords: when full, the oldest record is
+/// evicted, so memory is capped no matter how long the run is. `evicted()`
+/// says whether the retained window is complete — any analysis that needs
+/// totals (e.g. reconciling byte counts against MessageStats) must check it.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity);
+
+  void record(TraceRecord r);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Records currently retained (≤ capacity).
+  std::size_t size() const { return ring_.size(); }
+  /// Records ever recorded, including evicted ones.
+  std::size_t recorded() const { return recorded_; }
+  std::size_t evicted() const { return recorded_ - ring_.size(); }
+
+  /// Retained records, oldest first.
+  std::vector<TraceRecord> records() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  ///< next slot to overwrite once the ring is full
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace psn::sim

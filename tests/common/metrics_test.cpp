@@ -1,0 +1,131 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn {
+namespace {
+
+TEST(MetricsRegistryTest, CounterFindOrCreateAndInc) {
+  MetricsRegistry reg;
+  auto c = reg.counter("a");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Re-registering the same name returns a handle to the same metric.
+  auto c2 = reg.counter("a");
+  c2.inc();
+  EXPECT_EQ(c.value(), 43u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreInert) {
+  MetricsRegistry::Counter c;
+  MetricsRegistry::Gauge g;
+  MetricsRegistry::Stat s;
+  MetricsRegistry::Hist h;
+  c.inc();
+  g.set(1.0);
+  g.add(2.0);
+  s.add(3.0);
+  h.add(4.0);  // none of these may crash or register anything
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  auto g = reg.gauge("g");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(MetricsRegistryTest, HandlesStayValidAsRegistryGrows) {
+  MetricsRegistry reg;
+  auto first = reg.counter("m.000");
+  // Force many node insertions around the first one; the handle must still
+  // point at the same metric (std::map nodes are address-stable).
+  for (int i = 1; i < 200; ++i) {
+    reg.counter("m." + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("m.000"), 7u);
+}
+
+TEST(MetricsRegistryTest, HistogramShapeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_NO_THROW(reg.histogram("h", 0.0, 10.0, 5));
+  EXPECT_THROW(reg.histogram("h", 0.0, 10.0, 6), InvariantError);
+  EXPECT_THROW(reg.histogram("h", 0.0, 20.0, 5), InvariantError);
+}
+
+TEST(MetricsSnapshotTest, CapturesAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(3);
+  reg.gauge("g").set(1.5);
+  reg.stat("s").add(2.0);
+  reg.stat("s").add(4.0);
+  reg.histogram("h", 0.0, 10.0, 10).add(5.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 1.5);
+  EXPECT_EQ(snap.stats.at("s").count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.stats.at("s").mean(), 3.0);
+  EXPECT_EQ(snap.histograms.at("h").total, 1u);
+  EXPECT_EQ(snap.histograms.at("h").counts.size(), 10u);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsAndCombines) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(2);
+  b.counter("c").inc(5);
+  b.counter("only_b").inc(1);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  a.stat("s").add(1.0);
+  b.stat("s").add(3.0);
+  a.histogram("h", 0.0, 4.0, 4).add(1.0);
+  b.histogram("h", 0.0, 4.0, 4).add(1.5);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 3.0);  // gauges add across runs
+  EXPECT_EQ(merged.stats.at("s").count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.stats.at("s").mean(), 2.0);
+  EXPECT_EQ(merged.histograms.at("h").total, 2u);
+  EXPECT_EQ(merged.histograms.at("h").counts[1], 2u);  // both in [1, 2)
+}
+
+TEST(MetricsSnapshotTest, MergeRejectsHistogramShapeMismatch) {
+  MetricsRegistry a, b;
+  a.histogram("h", 0.0, 4.0, 4).add(1.0);
+  b.histogram("h", 0.0, 4.0, 8).add(1.0);
+  MetricsSnapshot merged = a.snapshot();
+  EXPECT_THROW(merged.merge(b.snapshot()), InvariantError);
+}
+
+TEST(MetricsSnapshotTest, TableIsNameSortedAndStable) {
+  MetricsRegistry reg;
+  reg.counter("z").inc();
+  reg.counter("a").inc(2);
+  reg.gauge("m").set(0.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const Table t = snap.table();
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.at(0, 0), "a");
+  EXPECT_EQ(t.at(1, 0), "z");
+  EXPECT_EQ(t.at(2, 0), "m");
+  // Same content twice → same bytes (the determinism tests rely on this).
+  EXPECT_EQ(snap.csv(), reg.snapshot().csv());
+}
+
+}  // namespace
+}  // namespace psn

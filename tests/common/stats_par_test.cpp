@@ -1,0 +1,62 @@
+// Regression test for the SampleSet lazy-sort data race: ensure_sorted()
+// used to const_cast and sort inside const observers, so two threads reading
+// percentiles of a shared SampleSet raced on the sample vector. Samples are
+// now kept sorted eagerly, making every const observer a pure read. Run
+// under -DPSN_SANITIZE=thread (label: par) to prove it.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace psn {
+namespace {
+
+TEST(SampleSetParTest, ConcurrentConstReadsAreRaceFree) {
+  SampleSet set;
+  // Insert out of order so the old lazy path would have had to sort on the
+  // first concurrent read.
+  for (int i = 999; i >= 0; --i) set.add(static_cast<double>(i % 97));
+
+  constexpr int kThreads = 8;
+  std::vector<double> medians(kThreads), p99s(kThreads), mins(kThreads),
+      maxs(kThreads);
+  {
+    std::vector<std::jthread> readers;
+    readers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      readers.emplace_back([&, t] {
+        for (int rep = 0; rep < 100; ++rep) {
+          medians[t] = set.median();
+          p99s[t] = set.percentile(99.0);
+          mins[t] = set.min();
+          maxs[t] = set.max();
+        }
+      });
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(medians[t], medians[0]);
+    EXPECT_DOUBLE_EQ(p99s[t], p99s[0]);
+    EXPECT_DOUBLE_EQ(mins[t], 0.0);
+    EXPECT_DOUBLE_EQ(maxs[t], 96.0);
+  }
+}
+
+TEST(SampleSetParTest, SamplesAreAlwaysAscending) {
+  SampleSet set;
+  const double xs[] = {5.0, -1.0, 3.5, 3.5, 0.0, 100.0, -7.25};
+  for (const double x : xs) {
+    set.add(x);
+    const auto& s = set.samples();
+    for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LE(s[i - 1], s[i]);
+  }
+  EXPECT_EQ(set.count(), 7u);
+  EXPECT_DOUBLE_EQ(set.min(), -7.25);
+  EXPECT_DOUBLE_EQ(set.max(), 100.0);
+}
+
+}  // namespace
+}  // namespace psn

@@ -42,6 +42,17 @@ struct Fixture {
     return m;
   }
 
+  Message strobe(ProcessId src, ProcessId dst) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.kind = MessageKind::kStrobe;
+    SenseReportPayload payload;
+    payload.strobe_vector = clocks::VectorStamp(transport.overlay().size());
+    m.payload = payload;
+    return m;
+  }
+
   sim::Simulation sim;
   Transport transport;
   std::vector<std::pair<ProcessId, Message>> deliveries;
@@ -86,6 +97,23 @@ TEST(TransportTest, UnreachableDestinationCounted) {
   f.sim.run();
   EXPECT_TRUE(f.deliveries.empty());
   EXPECT_EQ(f.transport.stats().of(MessageKind::kComputation).unreachable, 1u);
+}
+
+// Regression: transmit() used to count sent/bytes_sent before discovering
+// the destination was unreachable, so partition scenarios overstated radio
+// traffic. A message that never leaves the node must not be "sent".
+TEST(TransportTest, UnreachableNotCountedAsSent) {
+  Overlay disconnected(3);
+  disconnected.add_edge(0, 1);  // node 2 isolated
+  Fixture f(std::move(disconnected));
+  f.transport.unicast(f.computation(0, 2));
+  f.transport.unicast(f.computation(0, 1));  // reachable control message
+  f.sim.run();
+  const auto& ks = f.transport.stats().of(MessageKind::kComputation);
+  EXPECT_EQ(ks.unreachable, 1u);
+  EXPECT_EQ(ks.sent, 1u);  // only the reachable one
+  EXPECT_EQ(ks.bytes_sent, wire_bytes(f.computation(0, 1)));
+  EXPECT_EQ(f.transport.stats().total_sent(), 1u);
 }
 
 TEST(TransportTest, LossDropsAndCounts) {
@@ -144,11 +172,84 @@ TEST(WireBytesTest, SenseReportModesOrdered) {
             8u * 8u);
 }
 
+// Golden per-mode sizes: header 12 + object 4 + attr 4 + value 8 = 28 base;
+// scalar adds stamp 8 + pid 4, vector adds 8n + pid 4, physical adds stamp 8.
+TEST(WireBytesTest, SenseReportGoldenSizesPerMode) {
+  for (const std::size_t n : {2u, 4u, 9u, 33u}) {
+    SenseReportPayload p;
+    p.strobe_vector = clocks::VectorStamp(n);
+    EXPECT_EQ(p.wire_bytes_scalar_mode(), 40u);
+    EXPECT_EQ(p.wire_bytes_vector_mode(), 28u + 8u * n + 4u);
+    EXPECT_EQ(p.wire_bytes_physical_mode(), 36u);
+  }
+}
+
+// Regression: wire_bytes(msg) used to price every sense report at the vector
+// payload regardless of the deployment's clock mode, so E7's scalar and
+// physical byte columns were wrong. The mode-aware overload must dispatch.
+TEST(WireBytesTest, ModeAwareOverloadDispatches) {
+  Message m;
+  m.kind = MessageKind::kStrobe;
+  SenseReportPayload p;
+  p.strobe_vector = clocks::VectorStamp(5);
+  m.payload = p;
+  EXPECT_EQ(wire_bytes(m, ClockMode::kScalarStrobe),
+            p.wire_bytes_scalar_mode());
+  EXPECT_EQ(wire_bytes(m, ClockMode::kVectorStrobe),
+            p.wire_bytes_vector_mode());
+  EXPECT_EQ(wire_bytes(m, ClockMode::kPhysical),
+            p.wire_bytes_physical_mode());
+  // The one-argument convenience form is the fattest (vector) pricing.
+  EXPECT_EQ(wire_bytes(m), p.wire_bytes_vector_mode());
+  // Mode only affects sense reports; computation payloads are unchanged.
+  Message c;
+  c.kind = MessageKind::kComputation;
+  ComputationPayload cp;
+  cp.stamps.causal_vector = clocks::VectorStamp(5);
+  c.payload = cp;
+  EXPECT_EQ(wire_bytes(c, ClockMode::kScalarStrobe), wire_bytes(c));
+}
+
+TEST(TransportTest, ActiveClockModePricesTheWire) {
+  for (const ClockMode mode :
+       {ClockMode::kScalarStrobe, ClockMode::kVectorStrobe,
+        ClockMode::kPhysical}) {
+    Fixture f(Overlay::complete(4));
+    f.transport.set_clock_mode(mode);
+    f.transport.broadcast(f.strobe(0, kNoProcess));
+    f.sim.run();
+    SenseReportPayload sample;
+    sample.strobe_vector = clocks::VectorStamp(4);
+    const auto& ks = f.transport.stats().of(MessageKind::kStrobe);
+    EXPECT_EQ(ks.sent, 3u);
+    EXPECT_EQ(ks.bytes_sent,
+              3u * (mode == ClockMode::kScalarStrobe
+                        ? sample.wire_bytes_scalar_mode()
+                        : mode == ClockMode::kVectorStrobe
+                              ? sample.wire_bytes_vector_mode()
+                              : sample.wire_bytes_physical_mode()));
+    // Shadow totals price the same traffic under all three modes at once.
+    EXPECT_EQ(f.transport.stats().strobe_mode_bytes.of(mode), ks.bytes_sent);
+    EXPECT_EQ(f.transport.stats().strobe_mode_bytes.scalar,
+              3u * sample.wire_bytes_scalar_mode());
+    EXPECT_EQ(f.transport.stats().strobe_mode_bytes.vector,
+              3u * sample.wire_bytes_vector_mode());
+    EXPECT_EQ(f.transport.stats().strobe_mode_bytes.physical,
+              3u * sample.wire_bytes_physical_mode());
+  }
+}
+
 TEST(WireBytesTest, MessageKindNames) {
   EXPECT_STREQ(to_string(MessageKind::kStrobe), "strobe");
   EXPECT_STREQ(to_string(MessageKind::kComputation), "computation");
   EXPECT_STREQ(to_string(MessageKind::kSync), "sync");
   EXPECT_STREQ(to_string(MessageKind::kActuation), "actuation");
+}
+
+TEST(WireBytesTest, ClockModeNames) {
+  EXPECT_STREQ(to_string(ClockMode::kScalarStrobe), "scalar");
+  EXPECT_STREQ(to_string(ClockMode::kVectorStrobe), "vector");
+  EXPECT_STREQ(to_string(ClockMode::kPhysical), "physical");
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace psn::sim {
+namespace {
+
+TraceRecord at_step(std::size_t i) {
+  TraceRecord r;
+  r.at = SimTime::from_seconds(static_cast<double>(i));
+  r.kind = TraceKind::kSend;
+  r.pid = static_cast<ProcessId>(i);
+  r.bytes = i;
+  return r;
+}
+
+TEST(TraceRecorderTest, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRecorder(0), InvariantError);
+}
+
+TEST(TraceRecorderTest, KeepsEverythingBelowCapacity) {
+  TraceRecorder tr(8);
+  for (std::size_t i = 0; i < 5; ++i) tr.record(at_step(i));
+  EXPECT_EQ(tr.size(), 5u);
+  EXPECT_EQ(tr.recorded(), 5u);
+  EXPECT_EQ(tr.evicted(), 0u);
+  const auto records = tr.records();
+  ASSERT_EQ(records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(records[i].pid, i);
+}
+
+TEST(TraceRecorderTest, EvictsOldestWhenFull) {
+  TraceRecorder tr(3);
+  for (std::size_t i = 0; i < 7; ++i) tr.record(at_step(i));
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.recorded(), 7u);
+  EXPECT_EQ(tr.evicted(), 4u);
+  const auto records = tr.records();  // oldest retained first
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].pid, 4u);
+  EXPECT_EQ(records[1].pid, 5u);
+  EXPECT_EQ(records[2].pid, 6u);
+}
+
+TEST(TraceRecorderTest, ClearResets) {
+  TraceRecorder tr(2);
+  tr.record(at_step(0));
+  tr.record(at_step(1));
+  tr.record(at_step(2));
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.recorded(), 0u);
+  EXPECT_EQ(tr.evicted(), 0u);
+  tr.record(at_step(9));
+  const auto records = tr.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].pid, 9u);
+}
+
+TEST(TraceKindTest, Names) {
+  EXPECT_STREQ(to_string(TraceKind::kSense), "sense");
+  EXPECT_STREQ(to_string(TraceKind::kSend), "send");
+  EXPECT_STREQ(to_string(TraceKind::kReceive), "receive");
+  EXPECT_STREQ(to_string(TraceKind::kDeliver), "deliver");
+  EXPECT_STREQ(to_string(TraceKind::kDrop), "drop");
+  EXPECT_STREQ(to_string(TraceKind::kUnreachable), "unreachable");
+  EXPECT_STREQ(to_string(TraceKind::kDetect), "detect");
+}
+
+}  // namespace
+}  // namespace psn::sim
