@@ -21,6 +21,9 @@
 //     --metrics          print the merged metric snapshot table
 //     --trace PATH       write a JSONL event trace of one run (seed = --seed)
 //     --trace-cap N      trace ring capacity in records     (default 1000000)
+//     --check            replay one run (seed = --seed) through the
+//                        causality & clock-contract checker and the Δ-race
+//                        audit; exit 1 on any violation
 //
 // Examples:
 //   psn_cli --scenario hall --doors 8 --delta 250 --reps 10
@@ -28,6 +31,7 @@
 //   psn_cli --loss 0.3 --seconds 120 --csv /tmp/lossy.csv
 //   psn_cli --mode scalar --metrics       # E7-style per-mode byte accounting
 //   psn_cli --trace /tmp/run.jsonl        # sense/send/deliver/... event log
+//   psn_cli --check --mode scalar         # clock-contract replay, CI-style
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +66,7 @@ struct CliOptions {
   bool metrics = false;
   std::string trace;
   std::size_t trace_cap = 1000000;
+  bool check = false;
 };
 
 [[noreturn]] void usage_error(const std::string& why) {
@@ -82,7 +87,7 @@ CliOptions parse_cli(int argc, char** argv) {
           "               [--loss P] [--seconds S] [--seed N] [--reps N]\n"
           "               [--threads N] [--csv PATH]\n"
           "               [--mode scalar|vector|physical] [--metrics]\n"
-          "               [--trace PATH] [--trace-cap N]\n");
+          "               [--trace PATH] [--trace-cap N] [--check]\n");
       std::exit(0);
     }
     auto value = [&]() -> std::string {
@@ -127,6 +132,8 @@ CliOptions parse_cli(int argc, char** argv) {
       const long long cap = std::atoll(value().c_str());
       if (cap <= 0) usage_error("--trace-cap must be > 0");
       opt.trace_cap = static_cast<std::size_t>(cap);
+    } else if (flag == "--check") {
+      opt.check = true;
     } else {
       usage_error("unknown flag " + flag);
     }
@@ -230,6 +237,23 @@ int main(int argc, char** argv) {
                 result.runs == 1 ? "" : "s");
     std::printf("%s",
                 result.points.front().metrics.table().ascii().c_str());
+  }
+
+  if (opt.check) {
+    // Re-run the base point (first seed) with the checker on; the sweep
+    // merges snapshots and keeps no raw trace to replay.
+    analysis::OccupancyConfig checked = cfg;
+    checked.check = true;
+    if (checked.trace_capacity == 0) checked.trace_capacity = opt.trace_cap;
+    try {
+      const analysis::OccupancyRunResult run =
+          analysis::run_occupancy_experiment(checked);
+      std::printf("\n%s", run.check->summary().c_str());
+      if (!run.check->clean()) return 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psn_cli: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (!opt.trace.empty()) {

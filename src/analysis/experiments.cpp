@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/sweep.hpp"
+#include "check/race_scan.hpp"
 #include "common/error.hpp"
 #include "core/detectors.hpp"
 #include "core/oracle.hpp"
@@ -65,6 +66,10 @@ OccupancyRunResult run_occupancy_experiment(
   sys.sim.seed = config.seed;
   sys.sim.horizon = SimTime::zero() + config.horizon;
   sys.sim.trace_capacity = config.trace_capacity;
+  if (config.check && sys.sim.trace_capacity == 0) {
+    // The checker's happens-before oracle needs the complete trace window.
+    sys.sim.trace_capacity = std::size_t{1} << 18;
+  }
   sys.delay_kind = config.delay_kind;
   sys.delta = config.delta;
   sys.clock_mode = config.clock_mode;
@@ -132,6 +137,13 @@ OccupancyRunResult run_occupancy_experiment(
   metrics.counter("world.events").inc(result.world_events);
   metrics.counter("root.observed_updates").inc(result.observed_updates);
 
+  // Clock-contract replay runs over the network-plane trace before the
+  // offline detectors append their kDetect records (which it would ignore
+  // anyway, but checking the smaller window is cheaper).
+  if (config.check) {
+    result.check = check::check_system(system);
+  }
+
   sim::TraceRecorder* trace = system.sim().trace();
   for (const auto& detector : core::all_online_detectors()) {
     DetectorOutcome out;
@@ -159,6 +171,38 @@ OccupancyRunResult run_occupancy_experiment(
       }
     }
     result.outcomes.push_back(std::move(out));
+  }
+
+  // Δ-race audit: under lossless Δ-bounded delivery with no duty cycling,
+  // races are the *only* admissible cause of confident detector errors
+  // (paper §5) — so each FP/FN must have a race to blame, and an
+  // unexplained one is a checker violation.
+  if (result.check) {
+    const bool audit_eligible =
+        config.delay_kind == core::DelayKind::kUniformBounded &&
+        config.loss_probability == 0.0 && config.loss_windows.empty() &&
+        !config.duty_cycle && result.check->trace_evicted == 0;
+    if (audit_eligible) {
+      check::RaceScanConfig delta_scan;
+      delta_scan.window = result.delta_bound;
+      const std::vector<check::RaceEvent> delta_races =
+          check::scan_races(system.log(), delta_scan);
+      check::RaceScanConfig eps_scan;
+      eps_scan.window = config.sync_epsilon * 2;
+      const std::vector<check::RaceEvent> eps_races =
+          check::scan_races(system.log(), eps_scan);
+      check::AuditConfig audit;
+      audit.slack = score_cfg.tolerance;
+      for (const DetectorOutcome& out : result.outcomes) {
+        // The physical detector orders by ε-synchronized timestamps, so its
+        // race window is 2ε; the delivery/strobe detectors resolve down to Δ.
+        const bool physical = out.detector == "physical-eps";
+        result.check->add_contract(check::audit_detector(
+            out.detector, physical ? eps_races : delta_races,
+            out.score.fp_cause_times, out.score.fn_occurrence_times, audit));
+      }
+    }
+    metrics.counter("check.violations").inc(result.check->total_violations());
   }
 
   result.metrics = metrics.snapshot();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/scoring.hpp"
+#include "check/check.hpp"
 #include "common/metrics.hpp"
 #include "common/validated.hpp"
 #include "core/system.hpp"
@@ -48,6 +49,13 @@ struct OccupancyConfig {
   /// OccupancyRunResult::trace.
   std::size_t trace_capacity = 0;
 
+  /// Runs the causality & clock-contract checker (check/check.hpp) over the
+  /// finished run and, when the config admits it (lossless, Δ-bounded, no
+  /// duty cycling), the Δ-race audit of every detector's errors. Tracing is
+  /// required; if trace_capacity is 0 a default ring of 2^18 records is
+  /// enabled. The report lands in OccupancyRunResult::check.
+  bool check = false;
+
   /// Scoring tolerance; zero means "auto": 2Δ + 1 ms.
   Duration score_tolerance = Duration::zero();
 
@@ -82,6 +90,9 @@ struct OccupancyRunResult {
   std::vector<sim::TraceRecord> trace;
   /// Records the trace ring evicted; 0 means `trace` is complete.
   std::size_t trace_evicted = 0;
+
+  /// Clock-contract + Δ-race-audit report (set iff config.check was on).
+  std::optional<check::CheckReport> check;
 
   const DetectorOutcome& outcome(const std::string& detector) const;
 };

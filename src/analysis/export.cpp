@@ -110,6 +110,10 @@ std::string trace_jsonl(const std::vector<sim::TraceRecord>& records) {
     }
     out += ",\"bytes\":";
     out += std::to_string(r.bytes);
+    if (r.seq != 0) {
+      out += ",\"seq\":";
+      out += std::to_string(r.seq);
+    }
     if (!r.note.empty()) {
       out += ",\"note\":\"";
       out += json_escape(r.note);

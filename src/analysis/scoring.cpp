@@ -43,6 +43,11 @@ DetectionScore& DetectionScore::operator+=(const DetectionScore& other) {
   borderline_matched += other.borderline_matched;
   borderline_unmatched += other.borderline_unmatched;
   for (const double s : other.latency_s.samples()) latency_s.add(s);
+  fp_cause_times.insert(fp_cause_times.end(), other.fp_cause_times.begin(),
+                        other.fp_cause_times.end());
+  fn_occurrence_times.insert(fn_occurrence_times.end(),
+                             other.fn_occurrence_times.begin(),
+                             other.fn_occurrence_times.end());
   return *this;
 }
 
@@ -112,7 +117,12 @@ DetectionScore score_detections(const core::OracleResult& oracle,
       score.latency_s.add((confident[q].detected - starts[t]).to_seconds());
     } else {
       score.false_positives++;
+      score.fp_cause_times.push_back(confident[q].cause);
     }
+  }
+
+  for (std::size_t t = 0; t < starts.size(); ++t) {
+    if (!matched[t]) score.fn_occurrence_times.push_back(starts[t]);
   }
 
   // Unmatched oracle starts: false negatives; see whether a borderline

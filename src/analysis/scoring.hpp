@@ -42,6 +42,12 @@ struct DetectionScore {
   /// detected_at − occurrence start, seconds, for matched confident pairs.
   SampleSet latency_s;
 
+  /// Cause true times of the confident false positives, and occurrence start
+  /// times of the false negatives — the inputs of the Δ-race audit
+  /// (check/race_scan.hpp), which demands a race to blame for each.
+  std::vector<SimTime> fp_cause_times;
+  std::vector<SimTime> fn_occurrence_times;
+
   double precision() const;
   double recall() const;
   double f1() const;

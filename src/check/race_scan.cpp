@@ -1,0 +1,105 @@
+#include "check/race_scan.hpp"
+
+#include <algorithm>
+
+#include "clocks/timestamp.hpp"
+
+namespace psn::check {
+
+std::vector<RaceEvent> scan_races(const core::ObservationLog& log,
+                                  const RaceScanConfig& config) {
+  std::vector<RaceEvent> races;
+  if (log.updates.size() < 2 || config.window <= Duration::zero()) {
+    return races;
+  }
+
+  // Sort update indices by true sense time; the sliding window then only
+  // ever compares pairs that can actually race.
+  std::vector<std::size_t> order(log.updates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const SimTime ta = log.updates[a].report.true_sense_time;
+    const SimTime tb = log.updates[b].report.true_sense_time;
+    if (ta != tb) return ta < tb;
+    return a < b;  // deterministic tie-break: delivery order
+  });
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& ua = log.updates[order[i]];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const auto& ub = log.updates[order[j]];
+      const Duration gap = ub.report.true_sense_time - ua.report.true_sense_time;
+      if (gap >= config.window) break;
+      if (ua.reporter == ub.reporter) continue;  // program order resolves it
+      RaceEvent race;
+      race.update_a = order[i];
+      race.update_b = order[j];
+      race.pid_a = ua.reporter;
+      race.pid_b = ub.reporter;
+      race.true_a = ua.report.true_sense_time;
+      race.true_b = ub.report.true_sense_time;
+      race.gap = gap;
+      // The root sees updates in log order; the later sense arriving at a
+      // smaller index means delivery inverted the true order.
+      race.delivery_inverted = race.update_b < race.update_a;
+      const auto& va = ua.report.strobe_vector;
+      const auto& vb = ub.report.strobe_vector;
+      race.strobe_concurrent = va.size() > 0 && va.size() == vb.size() &&
+                               clocks::concurrent(va, vb);
+      races.push_back(race);
+      if (races.size() >= config.max_races) return races;
+    }
+  }
+  return races;
+}
+
+namespace {
+
+/// True iff t falls inside some race span [true_a - slack, true_b + slack].
+/// Races are emitted in nondecreasing true_a order, so we can stop early.
+bool explained_by_race(SimTime t, const std::vector<RaceEvent>& races,
+                       Duration slack) {
+  for (const RaceEvent& r : races) {
+    if (r.true_a - slack > t) break;
+    if (t <= r.true_b + slack) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ContractResult audit_detector(const std::string& detector,
+                              const std::vector<RaceEvent>& races,
+                              const std::vector<SimTime>& fp_cause_times,
+                              const std::vector<SimTime>& fn_occurrence_times,
+                              const AuditConfig& config) {
+  ContractResult result;
+  result.contract = "race-audit." + detector;
+  result.pairs_checked = races.size();
+
+  auto audit = [&](const std::vector<SimTime>& times, ViolationKind kind,
+                   const char* label) {
+    for (const SimTime t : times) {
+      result.events_checked++;
+      if (explained_by_race(t, races, config.slack)) continue;
+      if (!config.strict) continue;
+      result.violations_total++;
+      if (result.violations.size() < config.max_recorded_violations) {
+        CheckViolation v;
+        v.kind = kind;
+        v.at = t;
+        v.detail = detector + ": confident " + label + " at t=" +
+                   std::to_string(t.to_seconds()) +
+                   "s has no Δ-race within the audit window to explain it";
+        result.violations.push_back(std::move(v));
+      }
+    }
+  };
+  audit(fp_cause_times, ViolationKind::kUnexplainedFalsePositive,
+        "false positive");
+  audit(fn_occurrence_times, ViolationKind::kUnexplainedFalseNegative,
+        "false negative");
+  return result;
+}
+
+}  // namespace psn::check

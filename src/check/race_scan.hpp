@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+#include "core/observation.hpp"
+
+namespace psn::check {
+
+/// One Δ-race (or 2ε overlap for physical-clock detectors): two sense
+/// reports from *different* processes whose true sense times are closer than
+/// the detector's resolution window. Inside that window the root cannot
+/// trust any ordering signal — exactly the interval the paper blames
+/// detector errors on (§5).
+struct RaceEvent {
+  std::size_t update_a = 0;  ///< index into ObservationLog::updates (earlier)
+  std::size_t update_b = 0;  ///< index into ObservationLog::updates (later)
+  ProcessId pid_a = kNoProcess;
+  ProcessId pid_b = kNoProcess;
+  SimTime true_a;  ///< true sense time of the earlier report
+  SimTime true_b;  ///< true sense time of the later report (>= true_a)
+  Duration gap = Duration::zero();  ///< true_b - true_a (< window)
+  /// The later sense was *delivered* to the root before the earlier one —
+  /// the raw inversion a naive FIFO observer would mis-order on.
+  bool delivery_inverted = false;
+  /// The strobe vector clocks leave the pair concurrent (neither dominates),
+  /// so even the strongest logical clock cannot order it.
+  bool strobe_concurrent = false;
+};
+
+struct RaceScanConfig {
+  /// Race window: Δ for delivery/strobe detectors, 2ε for physical-timestamp
+  /// detectors. Pairs with true-time gap strictly below this are races.
+  Duration window = Duration::zero();
+  /// Safety cap on emitted races (the scan is a sliding window, so pathological
+  /// inputs — everything simultaneous — are quadratic in the window population).
+  std::size_t max_races = 100000;
+};
+
+/// Scans the root's observation log for Δ-race pairs. O(u log u + races).
+std::vector<RaceEvent> scan_races(const core::ObservationLog& log,
+                                  const RaceScanConfig& config);
+
+struct AuditConfig {
+  /// An error at true time t is explained by a race whose true-time span
+  /// [true_a - slack, true_b + slack] contains t.
+  Duration slack = Duration::zero();
+  /// When true, every unexplained confident error becomes a violation
+  /// (kUnexplainedFalsePositive / kUnexplainedFalseNegative). Only sound for
+  /// runs where races are the sole possible error source: lossless transport,
+  /// bounded delay, no duty-cycling, untruncated scoring window.
+  bool strict = true;
+  std::size_t max_recorded_violations = 16;
+};
+
+/// Cross-checks one detector's confident errors against the scanned races:
+/// each false positive (by cause true time) and false negative (by missed
+/// occurrence start) must fall inside some race span. Returns a
+/// ContractResult named "race-audit." + detector; feed it to
+/// CheckReport::add_contract.
+ContractResult audit_detector(const std::string& detector,
+                              const std::vector<RaceEvent>& races,
+                              const std::vector<SimTime>& fp_cause_times,
+                              const std::vector<SimTime>& fn_occurrence_times,
+                              const AuditConfig& config);
+
+}  // namespace psn::check

@@ -38,6 +38,10 @@ struct ProcessEvent {
   double value = 0.0;
   /// For sense events: which world event was observed.
   world::WorldEventIndex world_event = world::kNoWorldEvent;
+  /// Transport sequence id tying this event to the network plane (0 = none):
+  /// the strobe broadcast triggered by an n event, the computation message of
+  /// an s or r event. psn::check matches s/r pairs on it.
+  std::uint64_t message_seq = 0;
 };
 
 /// The interval between two successive relevant local events (paper §2.2:

@@ -208,8 +208,16 @@ class BinaryExpr final : public Expr {
     rhs_->collect_aggregate_names(out);
   }
   std::string to_string() const override {
-    return "(" + lhs_->to_string() + " " + psn::core::to_string(op_) + " " +
-           rhs_->to_string() + ")";
+    // Built up via += rather than operator+ chaining: GCC 12's -Wrestrict
+    // false-fires on `"(" + <rvalue string>` under -O3 (PR 105651).
+    std::string out = "(";
+    out += lhs_->to_string();
+    out += ' ';
+    out += psn::core::to_string(op_);
+    out += ' ';
+    out += rhs_->to_string();
+    out += ')';
+    return out;
   }
 
   BinaryOp op() const { return op_; }

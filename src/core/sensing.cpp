@@ -41,7 +41,8 @@ SensorNode::SensorNode(ProcessId pid, std::size_t n, sim::Simulation& sim,
 
 void SensorNode::record_event(EventType type, std::optional<VarRef> var,
                               double value,
-                              world::WorldEventIndex world_event) {
+                              world::WorldEventIndex world_event,
+                              std::uint64_t message_seq) {
   ProcessEvent ev;
   ev.pid = pid_;
   ev.type = type;
@@ -50,6 +51,7 @@ void SensorNode::record_event(EventType type, std::optional<VarRef> var,
   ev.var = std::move(var);
   ev.value = value;
   ev.world_event = world_event;
+  ev.message_seq = message_seq;
   events_.push_back(std::move(ev));
 }
 
@@ -64,14 +66,7 @@ void SensorNode::sense(const world::WorldEvent& ev) {
   // so the recorded stamp is the post-tick value — the one broadcast.
   const clocks::StrobeOut strobes = bundle_.on_sense_event();
 
-  const VarRef var{pid_, ev.attribute};
-  record_event(EventType::kSense, var, ev.value.numeric(), ev.index);
-
   const SimTime now = sim_.now();
-  if (sim::TraceRecorder* tr = sim_.trace()) {
-    tr->record({now, sim::TraceKind::kSense, pid_, kNoProcess, -1, 0,
-                ev.attribute});
-  }
   net::Message msg;
   msg.src = pid_;
   msg.kind = net::MessageKind::kStrobe;
@@ -94,12 +89,21 @@ void SensorNode::sense(const world::WorldEvent& ev) {
     local_log_.updates.push_back(std::move(u));
   }
   msg.payload = std::move(payload);
-  transport_.broadcast(std::move(msg));
+  // Broadcast before recording so the n event can carry the strobe's seq
+  // (the transport assigns it). Deliveries are scheduler events, so the
+  // recorded order is still broadcast sends, this sense, then deliveries.
+  const std::uint64_t seq = transport_.broadcast(std::move(msg));
+
+  const VarRef var{pid_, ev.attribute};
+  record_event(EventType::kSense, var, ev.value.numeric(), ev.index, seq);
+  if (sim::TraceRecorder* tr = sim_.trace()) {
+    tr->record({now, sim::TraceKind::kSense, pid_, kNoProcess, -1, 0,
+                ev.attribute, seq});
+  }
 }
 
 void SensorNode::send_computation(ProcessId dst, const std::string& tag) {
   const clocks::PiggybackStamps stamps = bundle_.on_send();
-  record_event(EventType::kSend);
   net::Message msg;
   msg.src = pid_;
   msg.dst = dst;
@@ -108,7 +112,8 @@ void SensorNode::send_computation(ProcessId dst, const std::string& tag) {
   payload.stamps = stamps;
   payload.tag = tag;
   msg.payload = std::move(payload);
-  transport_.unicast(std::move(msg));
+  const std::uint64_t seq = transport_.unicast(std::move(msg));
+  record_event(EventType::kSend, std::nullopt, 0.0, world::kNoWorldEvent, seq);
 }
 
 void SensorNode::compute() {
@@ -142,10 +147,11 @@ void SensorNode::on_message(const net::Message& msg) {
     }
     case net::MessageKind::kComputation: {
       bundle_.on_receive(msg.computation().stamps);  // SC3/VC3
-      record_event(EventType::kReceive);
+      record_event(EventType::kReceive, std::nullopt, 0.0,
+                   world::kNoWorldEvent, msg.seq);
       if (sim::TraceRecorder* tr = sim_.trace()) {
         tr->record({sim_.now(), sim::TraceKind::kReceive, pid_, msg.src,
-                    static_cast<int>(msg.kind), 0, {}});
+                    static_cast<int>(msg.kind), 0, {}, msg.seq});
       }
       break;
     }

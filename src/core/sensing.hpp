@@ -86,7 +86,8 @@ class SensorNode {
   void record_event(EventType type,
                     std::optional<VarRef> var = std::nullopt,
                     double value = 0.0,
-                    world::WorldEventIndex world_event = world::kNoWorldEvent);
+                    world::WorldEventIndex world_event = world::kNoWorldEvent,
+                    std::uint64_t message_seq = 0);
 
   ProcessId pid_;
   sim::Simulation& sim_;

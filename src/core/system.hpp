@@ -61,6 +61,7 @@ class PervasiveSystem {
   explicit PervasiveSystem(SystemConfig config);
 
   sim::Simulation& sim() { return *sim_; }
+  const sim::Simulation& sim() const { return *sim_; }
   world::WorldModel& world() { return *world_; }
   net::Transport& transport() { return *transport_; }
   SensingMap& sensing() { return sensing_; }

@@ -95,6 +95,12 @@ struct Message {
   ProcessId src = kNoProcess;
   ProcessId dst = kNoProcess;  ///< kNoProcess for broadcasts (fan-out copies set it)
   MessageKind kind = MessageKind::kComputation;
+  /// Run-unique message identity, assigned by the transport (1, 2, …; 0 =
+  /// never transmitted). Fan-out copies of one broadcast share the seq — it
+  /// names the logical message, not the copy. The trace carries it on every
+  /// send/deliver/drop record, which is what lets psn::check reconstruct
+  /// exact send→receive edges even when deliveries reorder.
+  std::uint64_t seq = 0;
   SimTime sent_at;       ///< true send time (set by transport)
   SimTime delivered_at;  ///< true delivery time (set by transport)
   std::variant<SenseReportPayload, ComputationPayload, ActuationPayload>

@@ -132,21 +132,27 @@ void Transport::register_handler(ProcessId pid, Handler handler) {
   handlers_[pid] = std::move(handler);
 }
 
-void Transport::unicast(Message msg) {
+std::uint64_t Transport::unicast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size() && msg.dst < overlay_.size(),
             "message endpoints out of range");
   PSN_CHECK(msg.src != msg.dst, "self-addressed message");
+  msg.seq = ++next_seq_;
+  const std::uint64_t seq = msg.seq;
   transmit(std::move(msg));
+  return seq;
 }
 
-void Transport::broadcast(Message msg) {
+std::uint64_t Transport::broadcast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size(), "broadcast source out of range");
+  msg.seq = ++next_seq_;  // one logical message; every copy shares the seq
+  const std::uint64_t seq = msg.seq;
   for (ProcessId p = 0; p < overlay_.size(); ++p) {
     if (p == msg.src) continue;
     Message copy = msg;
     copy.dst = p;
     transmit(std::move(copy));
   }
+  return seq;
 }
 
 void Transport::transmit(Message msg) {
@@ -162,7 +168,7 @@ void Transport::transmit(Message msg) {
     unreachable_metric_.inc();
     if (sim::TraceRecorder* tr = sim_.trace()) {
       tr->record({sim_.now(), sim::TraceKind::kUnreachable, msg.src, msg.dst,
-                  kind_index, 0, {}});
+                  kind_index, 0, {}, msg.seq});
     }
     return;
   }
@@ -182,7 +188,7 @@ void Transport::transmit(Message msg) {
   msg.sent_at = sim_.now();
   if (sim::TraceRecorder* tr = sim_.trace()) {
     tr->record({sim_.now(), sim::TraceKind::kSend, msg.src, msg.dst,
-                kind_index, bytes, {}});
+                kind_index, bytes, {}, msg.seq});
   }
 
   Duration total = Duration::zero();
@@ -192,7 +198,7 @@ void Transport::transmit(Message msg) {
       dropped_metric_.inc();
       if (sim::TraceRecorder* tr = sim_.trace()) {
         tr->record({sim_.now(), sim::TraceKind::kDrop, msg.src, msg.dst,
-                    kind_index, bytes, {}});
+                    kind_index, bytes, {}, msg.seq});
       }
       return;
     }
@@ -224,7 +230,7 @@ void Transport::transmit(Message msg) {
     delay_ms_metric_.add((msg.delivered_at - msg.sent_at).to_millis());
     if (sim::TraceRecorder* tr = sim_.trace()) {
       tr->record({sim_.now(), sim::TraceKind::kDeliver, dst, msg.src,
-                  static_cast<int>(msg.kind), bytes, {}});
+                  static_cast<int>(msg.kind), bytes, {}, msg.seq});
     }
     handlers_[dst](msg);
   });

@@ -95,10 +95,12 @@ class Transport {
   /// any message addressed to `pid` is delivered.
   void register_handler(ProcessId pid, Handler handler);
 
-  /// Sends `msg` (src/dst/kind/payload filled in by the caller).
-  void unicast(Message msg);
-  /// Delivers independently to every process except `msg.src`.
-  void broadcast(Message msg);
+  /// Sends `msg` (src/dst/kind/payload filled in by the caller). Returns the
+  /// run-unique sequence id assigned to the message (see Message::seq).
+  std::uint64_t unicast(Message msg);
+  /// Delivers independently to every process except `msg.src`. All fan-out
+  /// copies share one sequence id, which is returned.
+  std::uint64_t broadcast(Message msg);
 
   Overlay& overlay() { return overlay_; }
   const Overlay& overlay() const { return overlay_; }
@@ -115,6 +117,7 @@ class Transport {
   Rng rng_;
   std::vector<Handler> handlers_;
   MessageStats stats_;
+  std::uint64_t next_seq_ = 0;  ///< last assigned Message::seq (0 = none yet)
   ClockMode clock_mode_ = ClockMode::kVectorStrobe;
   // Aggregate observability handles into the run's MetricsRegistry
   // (per-kind detail stays in MessageStats).

@@ -37,6 +37,11 @@ struct TraceRecord {
   int message_kind = -1;
   std::size_t bytes = 0;
   std::string note;  ///< attribute on kSense, detector name on kDetect
+  /// net::Message::seq of the message involved (0 = none). Send/deliver/drop
+  /// records of one message share it; kSense carries the seq of the strobe
+  /// broadcast the sense triggered, kReceive the seq of the computation
+  /// message processed. psn::check keys its happens-before edges on it.
+  std::uint64_t seq = 0;
 };
 
 /// Bounded ring buffer of TraceRecords: when full, the oldest record is

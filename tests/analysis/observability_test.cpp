@@ -77,8 +77,8 @@ INSTANTIATE_TEST_SUITE_P(AllClockModes, TraceReconciliationTest,
                          ::testing::Values(net::ClockMode::kScalarStrobe,
                                            net::ClockMode::kVectorStrobe,
                                            net::ClockMode::kPhysical),
-                         [](const auto& info) {
-                           return std::string(net::to_string(info.param));
+                         [](const auto& p) {
+                           return std::string(net::to_string(p.param));
                          });
 
 TEST(TraceExportTest, JsonlIsOneWellFormedObjectPerRecord) {

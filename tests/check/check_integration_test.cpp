@@ -1,0 +1,129 @@
+// End-to-end checker integration: the stock occupancy experiment — the base
+// configuration every E1–E9 bench sweeps around — must replay clean through
+// every clock contract and the Δ-race audit, under all three wire clock
+// modes. This is the regression net the checker exists for: an optimization
+// that breaks causality tracking turns these red.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "check/check.hpp"
+#include "check/race_scan.hpp"
+
+namespace psn::analysis {
+namespace {
+
+using namespace psn::time_literals;
+
+class CheckedOccupancyTest : public ::testing::TestWithParam<net::ClockMode> {};
+
+TEST_P(CheckedOccupancyTest, StockConfigReplaysCleanWithRaceAudit) {
+  OccupancyConfig cfg;  // the E1–E9 base point, stock defaults
+  cfg.clock_mode = GetParam();
+  cfg.check = true;
+
+  const OccupancyRunResult run = run_occupancy_experiment(cfg);
+  ASSERT_TRUE(run.check.has_value());
+  const check::CheckReport& report = *run.check;
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.trace_evicted, 0u);
+  EXPECT_EQ(run.trace_evicted, 0u);
+
+  // Every clock contract actually ran over a nontrivial run.
+  for (const char* contract :
+       {"lamport", "vector", "strobe-scalar", "strobe-vector",
+        "strobe-soundness", "physical-epsilon", "physical-drift"}) {
+    const check::ContractResult* c = report.contract(contract);
+    ASSERT_NE(c, nullptr) << contract;
+    EXPECT_TRUE(c->checked) << contract;
+    EXPECT_GT(c->events_checked + c->pairs_checked, 0u) << contract;
+  }
+
+  // The stock config is lossless, Δ-bounded, and always-on, so the strict
+  // race audit ran for every detector and explained every confident error.
+  for (const DetectorOutcome& out : run.outcomes) {
+    const check::ContractResult* audit =
+        report.contract("race-audit." + out.detector);
+    ASSERT_NE(audit, nullptr) << out.detector;
+    EXPECT_EQ(audit->violations_total, 0u) << out.detector;
+    EXPECT_EQ(audit->events_checked, out.score.fp_cause_times.size() +
+                                         out.score.fn_occurrence_times.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClockModes, CheckedOccupancyTest,
+                         ::testing::Values(net::ClockMode::kScalarStrobe,
+                                           net::ClockMode::kVectorStrobe,
+                                           net::ClockMode::kPhysical),
+                         [](const auto& p) {
+                           return std::string(net::to_string(p.param));
+                         });
+
+TEST(CheckedOccupancyTest, LossyConfigStillChecksContractsButSkipsAudit) {
+  OccupancyConfig cfg;
+  cfg.loss_probability = 0.3;  // E3-style burst-free random loss
+  cfg.horizon = Duration::seconds(30);
+  cfg.check = true;
+
+  const OccupancyRunResult run = run_occupancy_experiment(cfg);
+  ASSERT_TRUE(run.check.has_value());
+  // Loss drops messages, not clock correctness: contracts stay clean.
+  EXPECT_TRUE(run.check->clean()) << run.check->summary();
+  // But races are no longer the only error source, so no strict audit.
+  EXPECT_EQ(run.check->contract("race-audit.delivery-order"), nullptr);
+}
+
+TEST(CheckedOccupancyTest, CheckAutoEnablesTracing) {
+  OccupancyConfig cfg;
+  cfg.horizon = Duration::seconds(10);
+  cfg.check = true;
+  ASSERT_EQ(cfg.trace_capacity, 0u);
+
+  const OccupancyRunResult run = run_occupancy_experiment(cfg);
+  ASSERT_TRUE(run.check.has_value());
+  EXPECT_GT(run.trace.size(), 0u);
+  EXPECT_EQ(run.trace_evicted, 0u);
+}
+
+TEST(RaceScanTest, FindsPlantedDeltaRaceAndInversion) {
+  core::ObservationLog log;
+  log.num_processes = 3;
+  auto update = [](ProcessId pid, SimTime sensed, SimTime delivered) {
+    core::ReceivedUpdate u;
+    u.reporter = pid;
+    u.report.true_sense_time = sensed;
+    u.delivered_at = delivered;
+    return u;
+  };
+  const SimTime t0 = SimTime::zero();
+  // P2's sense at t=1.001s is delivered *before* P1's at t=1.000s: a 1 ms
+  // race, inverted. P1's second sense at t=5s races with nothing.
+  log.updates.push_back(update(2, t0 + 1_s + 1_ms, t0 + 1_s + 20_ms));
+  log.updates.push_back(update(1, t0 + 1_s, t0 + 1_s + 30_ms));
+  log.updates.push_back(update(1, t0 + 5_s, t0 + 5_s + 10_ms));
+
+  check::RaceScanConfig scan;
+  scan.window = 100_ms;
+  const auto races = check::scan_races(log, scan);
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].pid_a, 1);
+  EXPECT_EQ(races[0].pid_b, 2);
+  EXPECT_EQ(races[0].gap, 1_ms);
+  EXPECT_TRUE(races[0].delivery_inverted);
+
+  // An error inside the race span is explained; one far away is not.
+  const auto ok = check::audit_detector(
+      "probe", races, {t0 + 1_s}, {}, check::AuditConfig{});
+  EXPECT_EQ(ok.violations_total, 0u);
+  const auto bad = check::audit_detector(
+      "probe", races, {t0 + 5_s}, {t0 + 8_s}, check::AuditConfig{});
+  EXPECT_EQ(bad.violations_total, 2u);
+  ASSERT_EQ(bad.violations.size(), 2u);
+  EXPECT_EQ(bad.violations[0].kind,
+            check::ViolationKind::kUnexplainedFalsePositive);
+  EXPECT_EQ(bad.violations[1].kind,
+            check::ViolationKind::kUnexplainedFalseNegative);
+}
+
+}  // namespace
+}  // namespace psn::analysis

@@ -20,13 +20,13 @@ TEST(SampleSetParTest, ConcurrentConstReadsAreRaceFree) {
   // first concurrent read.
   for (int i = 999; i >= 0; --i) set.add(static_cast<double>(i % 97));
 
-  constexpr int kThreads = 8;
+  constexpr std::size_t kThreads = 8;
   std::vector<double> medians(kThreads), p99s(kThreads), mins(kThreads),
       maxs(kThreads);
   {
     std::vector<std::jthread> readers;
     readers.reserve(kThreads);
-    for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t t = 0; t < kThreads; ++t) {
       readers.emplace_back([&, t] {
         for (int rep = 0; rep < 100; ++rep) {
           medians[t] = set.median();
@@ -37,7 +37,7 @@ TEST(SampleSetParTest, ConcurrentConstReadsAreRaceFree) {
       });
     }
   }
-  for (int t = 0; t < kThreads; ++t) {
+  for (std::size_t t = 0; t < kThreads; ++t) {
     EXPECT_DOUBLE_EQ(medians[t], medians[0]);
     EXPECT_DOUBLE_EQ(p99s[t], p99s[0]);
     EXPECT_DOUBLE_EQ(mins[t], 0.0);

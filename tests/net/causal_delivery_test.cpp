@@ -15,6 +15,14 @@ namespace {
 
 using CausalMessage = CausalBroadcaster::CausalMessage;
 
+/// Builds "m3"-style labels via += (GCC 12's -Wrestrict false-fires on
+/// `"m" + <rvalue string>` under -O3, PR 105651).
+std::string tag(const char* prefix, int k) {
+  std::string out(prefix);
+  out += std::to_string(k);
+  return out;
+}
+
 /// Harness: n broadcasters whose transmissions are collected; the test
 /// decides arrival orders per receiver.
 struct Mesh {
@@ -110,7 +118,7 @@ TEST(CausalDeliveryTest, LongDependencyChainDrains) {
   for (int k = 0; k < 10; ++k) {
     const ProcessId sender = k % 2 == 0 ? 0 : 1;
     const ProcessId other = 1 - sender;
-    mesh.nodes[sender]->broadcast("m" + std::to_string(k));
+    mesh.nodes[sender]->broadcast(tag("m", k));
     chain.push_back(mesh.transmitted.back());
     mesh.nodes[other]->on_receive(chain.back());
   }
@@ -122,8 +130,7 @@ TEST(CausalDeliveryTest, LongDependencyChainDrains) {
   mesh.nodes[2]->on_receive(chain[0]);
   ASSERT_EQ(mesh.delivered[2].size(), 10u);
   for (int k = 0; k < 10; ++k) {
-    EXPECT_EQ(mesh.delivered[2][static_cast<std::size_t>(k)],
-              "m" + std::to_string(k));
+    EXPECT_EQ(mesh.delivered[2][static_cast<std::size_t>(k)], tag("m", k));
   }
 }
 
@@ -149,7 +156,7 @@ TEST_P(CausalDeliveryPropertyTest, RandomShufflesPreserveCausalOrder) {
         mesh.nodes[p]->on_receive(m);
       }
     }
-    mesh.nodes[p]->broadcast("s" + std::to_string(step));
+    mesh.nodes[p]->broadcast(tag("s", step));
   }
 
   // A fresh observer (the silent process kN-1) receives all messages in a
