@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_micro.json at the repo root: runs the google-benchmark
+# micro-bench binaries (bench_micro_sim, bench_micro_clocks) and merges their
+# items/sec against the committed pre-optimization baseline
+# (bench/BASELINE_micro.json), so every PR leaves a before/after trajectory.
+#
+# Usage: bench/run_bench.sh [build_dir]
+#   build_dir defaults to <repo>/build. Override the per-benchmark minimum
+#   measuring time with BENCH_MIN_TIME (seconds, plain number — the bundled
+#   google-benchmark predates the "0.05s" form).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+min_time="${BENCH_MIN_TIME:-0.2}"
+baseline="${repo_root}/bench/BASELINE_micro.json"
+out="${repo_root}/BENCH_micro.json"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+for bench in bench_micro_sim bench_micro_clocks; do
+  bin="${build_dir}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${build_dir} --target ${bench})" >&2
+    exit 1
+  fi
+  echo "== ${bench} (min_time=${min_time}s)" >&2
+  "${bin}" --benchmark_min_time="${min_time}" \
+           --benchmark_out="${tmp_dir}/${bench}.json" \
+           --benchmark_out_format=json >&2
+done
+
+jq -s --slurpfile base "${baseline}" '
+  ($base[0].benchmarks) as $before |
+  {
+    generated_by: "bench/run_bench.sh",
+    baseline: "bench/BASELINE_micro.json (pre hot-path overhaul)",
+    context: (.[0].context | {date, num_cpus, mhz_per_cpu, library_build_type}),
+    benchmarks: [
+      .[].benchmarks[] | select(.run_type == "iteration") |
+      ($before[.name]) as $b |
+      {
+        name: .name,
+        items_per_second_before: ($b.items_per_second // null),
+        items_per_second_after: (.items_per_second // null),
+        real_time_ns_before: ($b.real_time_ns // null),
+        real_time_ns_after: .real_time,
+        speedup: (
+          if ($b.items_per_second // 0) > 0 and (.items_per_second // 0) > 0
+          then (.items_per_second / $b.items_per_second * 1000 | round / 1000)
+          elif ($b.real_time_ns // 0) > 0 and .real_time > 0
+          then ($b.real_time_ns / .real_time * 1000 | round / 1000)
+          else null end)
+      }
+    ]
+  }' "${tmp_dir}/bench_micro_sim.json" "${tmp_dir}/bench_micro_clocks.json" \
+  > "${out}"
+
+echo "wrote ${out}" >&2
+jq -r '.benchmarks[] | select(.speedup != null) |
+       "\(.name)\t\(.speedup)x"' "${out}" >&2

@@ -101,6 +101,13 @@ OccupancyRunResult run_occupancy_experiment(
       "overcrowded",
       "sum(entered) - sum(exited) > " + std::to_string(config.capacity));
 
+  // The expected update volume is known before the run (movement_rate ×
+  // horizon world events, one root delivery each when lossless): reserve the
+  // log once instead of paying its reallocation-copy cascade mid-run.
+  const auto expected_updates = static_cast<std::size_t>(
+      config.movement_rate * config.horizon.to_seconds()) + 1;
+  system.root().log().updates.reserve(expected_updates);
+
   hall.start();
   system.run();
 
@@ -201,6 +208,13 @@ OccupancyRunResult run_occupancy_experiment(
             out.detector, physical ? eps_races : delta_races,
             out.score.fp_cause_times, out.score.fn_occurrence_times, audit));
       }
+    }
+    // Per-contract violation counters alongside the total, so a sweep's
+    // metrics table localizes *which* contract a regression trips without
+    // re-running anything (ROADMAP "per-contract violation metrics").
+    for (const check::ContractResult& cr : result.check->contracts) {
+      metrics.counter("check." + cr.contract + ".violations")
+          .inc(cr.violations_total);
     }
     metrics.counter("check.violations").inc(result.check->total_violations());
   }

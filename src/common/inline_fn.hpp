@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace psn {
+
+/// Move-only callable wrapper with small-buffer-optimized storage, built for
+/// the simulation hot path: a capturing lambda whose closure fits the inline
+/// buffer (and is nothrow-move-constructible) is stored in place — schedule,
+/// move, and invoke perform zero heap allocations. Larger or throwing-move
+/// closures transparently fall back to a single heap cell.
+///
+/// Differences from std::function, deliberately:
+///   - move-only (no copy): closures capturing move-only state are fine, and
+///     no virtual copy machinery is carried around;
+///   - fixed, caller-chosen inline capacity instead of an unspecified SBO
+///     threshold, so "does this closure allocate?" is auditable at the call
+///     site (the scheduler static_asserts its delivery closures fit);
+///   - invoke through one function-pointer table — no RTTI, no target().
+template <class Sig, std::size_t InlineBytes = 64>
+class InlineFn;
+
+template <class R, class... Args, std::size_t InlineBytes>
+class InlineFn<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  /// True iff a closure of type F is stored in the inline buffer (no heap).
+  template <class F>
+  static constexpr bool stores_inline() {
+    return sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  InlineFn() = default;
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_*() call site
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <class F>
+  static constexpr Ops kInlineOps = {
+      [](void* storage, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<F*>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<F*>(storage))->~F();
+      },
+  };
+
+  template <class F>
+  static constexpr Ops kHeapOps = {
+      [](void* storage, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<F**>(storage)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        // Ownership of the heap cell moves with the pointer; the pointer
+        // itself is trivially destructible.
+        ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
+      },
+      [](void* storage) noexcept {
+        delete *std::launder(reinterpret_cast<F**>(storage));
+      },
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace psn

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
+#include <string_view>
+#include <utility>
 
 #include "clocks/timestamp.hpp"
 #include "common/error.hpp"
@@ -47,6 +50,49 @@ VarRef var_of(const ReceivedUpdate& u) {
   return VarRef{u.reporter, u.report.attribute};
 }
 
+/// Heterogeneous ordering so an update's (pid, attribute) can be looked up
+/// against interned VarRefs without materializing a VarRef (no string copy
+/// on the hot path).
+struct VarKeyLess {
+  using is_transparent = void;
+  using Key = std::pair<ProcessId, std::string_view>;
+  static Key key(const VarRef& v) { return {v.pid, v.name}; }
+  bool operator()(const VarRef& a, const VarRef& b) const {
+    return key(a) < key(b);
+  }
+  bool operator()(const VarRef& a, const Key& b) const { return key(a) < b; }
+  bool operator()(const Key& a, const VarRef& b) const { return a < key(b); }
+};
+
+/// Dense VarRef interner (DESIGN.md §11): maps each distinct sensed variable
+/// to a small index, so per-update detector state lives in flat vectors
+/// indexed by interned id instead of ordered maps keyed by (pid, string).
+/// The ordered side table is touched only on first sight of a variable —
+/// steady state is one O(log V) comparison-based lookup with V = number of
+/// distinct variables (small), and no allocation.
+class VarInterner {
+ public:
+  /// Index of (pid, attribute), interning it on first sight.
+  std::uint32_t intern(ProcessId pid, const std::string& name) {
+    const VarKeyLess::Key key{pid, name};
+    const auto it = index_of_.lower_bound(key);
+    if (it != index_of_.end() && VarKeyLess::key(it->first) == key) {
+      return it->second;
+    }
+    const auto index = static_cast<std::uint32_t>(vars_.size());
+    vars_.push_back(VarRef{pid, name});
+    index_of_.emplace_hint(it, vars_.back(), index);
+    return index;
+  }
+
+  std::size_t size() const { return vars_.size(); }
+  const VarRef& var(std::uint32_t index) const { return vars_[index]; }
+
+ private:
+  std::map<VarRef, std::uint32_t, VarKeyLess> index_of_;
+  std::vector<VarRef> vars_;
+};
+
 }  // namespace
 
 std::vector<Detection> DeliveryOrderDetector::run(
@@ -65,18 +111,23 @@ std::vector<Detection> StrobeScalarDetector::run(
     const ObservationLog& log, const Predicate& predicate) const {
   std::vector<Detection> out;
   TransitionTracker tracker(predicate);
-  std::map<VarRef, clocks::ScalarStamp> latest;
+  VarInterner interner;
+  // Dense per-variable freshness table; one lookup per update (the old
+  // map<VarRef, Stamp> did a find *and* an operator[] re-hash per accepted
+  // update, plus a string-keyed rebalance).
+  std::vector<std::optional<clocks::ScalarStamp>> latest;
 
   for (std::size_t i = 0; i < log.updates.size(); ++i) {
     const auto& u = log.updates[i];
-    const VarRef var = var_of(u);
+    const std::uint32_t var = interner.intern(u.reporter, u.report.attribute);
+    if (var >= latest.size()) latest.resize(interner.size());
     const clocks::ScalarStamp stamp = u.report.strobe_scalar;
-    const auto it = latest.find(var);
-    if (it != latest.end() && !(it->second < stamp)) {
+    std::optional<clocks::ScalarStamp>& current = latest[var];
+    if (current.has_value() && !(*current < stamp)) {
       continue;  // stale under the (value, pid) total order
     }
-    latest[var] = stamp;
-    tracker.state().set(var, u.report.value.numeric());
+    current = stamp;
+    tracker.state().set(interner.var(var), u.report.value.numeric());
     tracker.evaluate(u, i, /*borderline=*/false, out);
   }
   return out;
@@ -87,7 +138,35 @@ struct IncrementalStrobeVectorDetector::Impl {
 
   Predicate predicate;
   TransitionTracker tracker;
-  std::map<VarRef, clocks::VectorStamp> latest;
+  VarInterner interner;
+  /// Interned index → freshest accepted vector stamp (dense; nullopt until
+  /// the variable's first accepted update).
+  std::vector<std::optional<clocks::VectorStamp>> latest;
+  /// Cached predicate read-set by interned index, plus the state size it was
+  /// computed against. collect_vars expands aggregates against the tracked
+  /// state, so the set can only change when the state's variable universe
+  /// grows — recomputing per feed (the old code built a std::set<VarRef>
+  /// from scratch on *every* update) is pure waste in steady state.
+  std::vector<char> in_read_set;
+  std::size_t read_set_state_size = SIZE_MAX;
+
+  void refresh_read_set() {
+    if (tracker.state().size() == read_set_state_size) return;
+    std::set<VarRef> read;
+    predicate.expr()->collect_vars(tracker.state(), read);
+    in_read_set.assign(interner.size(), 0);
+    for (const VarRef& v : read) {
+      // Only interned (i.e. ever-reported) variables can carry a stamp, so
+      // only they matter for the race scan below.
+      for (std::uint32_t i = 0; i < interner.size(); ++i) {
+        if (interner.var(i) == v) {
+          in_read_set[i] = 1;
+          break;
+        }
+      }
+    }
+    read_set_state_size = tracker.state().size();
+  }
 };
 
 IncrementalStrobeVectorDetector::IncrementalStrobeVectorDetector(
@@ -110,12 +189,13 @@ const Predicate& IncrementalStrobeVectorDetector::predicate() const {
 
 std::optional<Detection> IncrementalStrobeVectorDetector::feed(
     const ReceivedUpdate& u, std::size_t index) {
-  const VarRef var = var_of(u);
+  Impl& impl = *impl_;
+  const std::uint32_t var = impl.interner.intern(u.reporter, u.report.attribute);
+  if (var >= impl.latest.size()) impl.latest.resize(impl.interner.size());
   const clocks::VectorStamp& stamp = u.report.strobe_vector;
 
-  const auto it = impl_->latest.find(var);
-  if (it != impl_->latest.end()) {
-    const clocks::Ordering ord = clocks::compare(stamp, it->second);
+  if (impl.latest[var].has_value()) {
+    const clocks::Ordering ord = clocks::compare(stamp, *impl.latest[var]);
     if (ord == clocks::Ordering::kBefore || ord == clocks::Ordering::kEqual) {
       return std::nullopt;  // causally superseded by what we already applied
     }
@@ -124,24 +204,25 @@ std::optional<Detection> IncrementalStrobeVectorDetector::feed(
   // Race check (the borderline-bin rule, DESIGN.md §6.3): is this update
   // concurrent with the current update of any *other* variable that the
   // predicate reads? If so, the assembled state may not correspond to any
-  // instant of the single time axis.
+  // instant of the single time axis. The read-set is the cached one — it
+  // only changes when the tracked state gains a variable.
+  impl.refresh_read_set();
   bool race = false;
-  std::set<VarRef> read;
-  impl_->predicate.expr()->collect_vars(impl_->tracker.state(), read);
-  read.insert(var);  // the variable being written always matters
-  for (const auto& [other_var, other_stamp] : impl_->latest) {
-    if (other_var == var) continue;
-    if (!read.contains(other_var)) continue;
-    if (clocks::concurrent(stamp, other_stamp)) {
+  for (std::uint32_t other = 0; other < impl.latest.size(); ++other) {
+    if (other == var || !impl.latest[other].has_value()) continue;
+    if (other >= impl.in_read_set.size() || impl.in_read_set[other] == 0) {
+      continue;
+    }
+    if (clocks::concurrent(stamp, *impl.latest[other])) {
       race = true;
       break;
     }
   }
 
-  impl_->latest[var] = stamp;
-  impl_->tracker.state().set(var, u.report.value.numeric());
+  impl.latest[var] = stamp;
+  impl.tracker.state().set(impl.interner.var(var), u.report.value.numeric());
   std::vector<Detection> out;
-  impl_->tracker.evaluate(u, index, race, out);
+  impl.tracker.evaluate(u, index, race, out);
   if (out.empty()) return std::nullopt;
   return out.front();
 }
@@ -196,6 +277,7 @@ std::vector<Detection> PhysicalClockDetector::run(
 
 std::vector<std::unique_ptr<Detector>> all_online_detectors() {
   std::vector<std::unique_ptr<Detector>> out;
+  out.reserve(4);
   out.push_back(std::make_unique<DeliveryOrderDetector>());
   out.push_back(std::make_unique<StrobeScalarDetector>());
   out.push_back(std::make_unique<StrobeVectorDetector>());

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <variant>
 
 #include "clocks/clock_bundle.hpp"
@@ -91,6 +93,47 @@ struct ActuationPayload {
   world::AttributeValue value;
 };
 
+using Payload =
+    std::variant<SenseReportPayload, ComputationPayload, ActuationPayload>;
+
+/// Immutable, shared message payload (DESIGN.md §11). A payload is stamped
+/// exactly once — when the sender assigns it — and every copy of the Message
+/// afterwards (broadcast fan-out, scheduled delivery closures, retained test
+/// copies) shares the same heap cell instead of deep-copying the variant. An
+/// N-process strobe broadcast therefore performs one VectorStamp allocation,
+/// not N. Immutability is what makes the sharing sound: nothing downstream
+/// of the stamp may mutate the payload (the const in shared_ptr<const
+/// Payload> enforces it).
+///
+/// Assignment from a payload struct (`msg.payload = report;`) keeps every
+/// pre-existing call site working; it is the one place the allocation
+/// happens.
+class SharedPayload {
+ public:
+  SharedPayload() = default;
+  SharedPayload(SenseReportPayload p)  // NOLINT(google-explicit-constructor)
+      : p_(std::make_shared<const Payload>(std::move(p))) {}
+  SharedPayload(ComputationPayload p)  // NOLINT(google-explicit-constructor)
+      : p_(std::make_shared<const Payload>(std::move(p))) {}
+  SharedPayload(ActuationPayload p)  // NOLINT(google-explicit-constructor)
+      : p_(std::make_shared<const Payload>(std::move(p))) {}
+
+  bool has_value() const { return p_ != nullptr; }
+  const Payload& variant() const { return *p_; }
+
+  template <class T>
+  bool holds() const {
+    return p_ != nullptr && std::holds_alternative<T>(*p_);
+  }
+  template <class T>
+  const T& get() const {
+    return std::get<T>(*p_);
+  }
+
+ private:
+  std::shared_ptr<const Payload> p_;
+};
+
 struct Message {
   ProcessId src = kNoProcess;
   ProcessId dst = kNoProcess;  ///< kNoProcess for broadcasts (fan-out copies set it)
@@ -103,17 +146,16 @@ struct Message {
   std::uint64_t seq = 0;
   SimTime sent_at;       ///< true send time (set by transport)
   SimTime delivered_at;  ///< true delivery time (set by transport)
-  std::variant<SenseReportPayload, ComputationPayload, ActuationPayload>
-      payload;
+  SharedPayload payload;
 
   const SenseReportPayload& sense_report() const {
-    return std::get<SenseReportPayload>(payload);
+    return payload.get<SenseReportPayload>();
   }
   const ComputationPayload& computation() const {
-    return std::get<ComputationPayload>(payload);
+    return payload.get<ComputationPayload>();
   }
   const ActuationPayload& actuation() const {
-    return std::get<ActuationPayload>(payload);
+    return payload.get<ActuationPayload>();
   }
 };
 

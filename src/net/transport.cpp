@@ -55,7 +55,7 @@ std::size_t ComputationPayload::wire_bytes() const {
 }
 
 std::size_t wire_bytes(const Message& msg, ClockMode mode) {
-  if (std::holds_alternative<SenseReportPayload>(msg.payload)) {
+  if (msg.payload.holds<SenseReportPayload>()) {
     const SenseReportPayload& report = msg.sense_report();
     switch (mode) {
       case ClockMode::kScalarStrobe: return report.wire_bytes_scalar_mode();
@@ -63,7 +63,7 @@ std::size_t wire_bytes(const Message& msg, ClockMode mode) {
       case ClockMode::kPhysical: return report.wire_bytes_physical_mode();
     }
   }
-  if (std::holds_alternative<ComputationPayload>(msg.payload)) {
+  if (msg.payload.holds<ComputationPayload>()) {
     return msg.computation().wire_bytes();
   }
   return kWireHeaderBytes + 16;  // actuation: command id + issue time
@@ -138,7 +138,8 @@ std::uint64_t Transport::unicast(Message msg) {
   PSN_CHECK(msg.src != msg.dst, "self-addressed message");
   msg.seq = ++next_seq_;
   const std::uint64_t seq = msg.seq;
-  transmit(std::move(msg));
+  const std::size_t bytes = wire_bytes(msg, clock_mode_);
+  transmit(std::move(msg), bytes);
   return seq;
 }
 
@@ -146,16 +147,20 @@ std::uint64_t Transport::broadcast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size(), "broadcast source out of range");
   msg.seq = ++next_seq_;  // one logical message; every copy shares the seq
   const std::uint64_t seq = msg.seq;
+  // Every fan-out copy shares msg's immutable payload cell (one stamp
+  // allocation per broadcast, not one per recipient) and — since wire size
+  // is a pure function of payload, kind, and mode — the same byte price.
+  const std::size_t bytes = wire_bytes(msg, clock_mode_);
   for (ProcessId p = 0; p < overlay_.size(); ++p) {
     if (p == msg.src) continue;
     Message copy = msg;
     copy.dst = p;
-    transmit(std::move(copy));
+    transmit(std::move(copy), bytes);
   }
   return seq;
 }
 
-void Transport::transmit(Message msg) {
+void Transport::transmit(Message msg, std::size_t bytes) {
   auto& ks = stats_.of(msg.kind);
   const auto kind_index = static_cast<int>(msg.kind);
 
@@ -173,7 +178,6 @@ void Transport::transmit(Message msg) {
     return;
   }
 
-  const std::size_t bytes = wire_bytes(msg, clock_mode_);
   ks.sent++;
   ks.bytes_sent += bytes;
   sent_metric_.inc();
@@ -218,9 +222,8 @@ void Transport::transmit(Message msg) {
     last = at;
     total = at - sim_.now();
   }
-  const ProcessId dst = msg.dst;
-  sim_.scheduler().schedule_after(total, [this, msg = std::move(msg), dst,
-                                          bytes]() mutable {
+  auto deliver = [this, msg = std::move(msg), bytes]() mutable {
+    const ProcessId dst = msg.dst;
     auto& stats = stats_.of(msg.kind);
     PSN_CHECK(static_cast<bool>(handlers_[dst]),
               "no handler registered for destination process");
@@ -233,7 +236,13 @@ void Transport::transmit(Message msg) {
                   static_cast<int>(msg.kind), bytes, {}, msg.seq});
     }
     handlers_[dst](msg);
-  });
+  };
+  // The whole point of the shared payload: the per-recipient delivery
+  // closure is small enough to live inside the scheduler's slab slot, so a
+  // broadcast fan-out schedules N deliveries with zero heap allocations.
+  static_assert(sim::Scheduler::Callback::stores_inline<decltype(deliver)>(),
+                "delivery closure must fit the scheduler's inline buffer");
+  sim_.scheduler().schedule_after(total, std::move(deliver));
 }
 
 }  // namespace psn::net

@@ -108,7 +108,10 @@ class Transport {
   const MessageStats& stats() const { return stats_; }
 
  private:
-  void transmit(Message msg);
+  /// `bytes` is the wire price of the message under the active clock mode,
+  /// computed once per logical message (unicast: per message; broadcast:
+  /// once for the whole fan-out — all copies share payload, kind, and mode).
+  void transmit(Message msg, std::size_t bytes);
 
   sim::Simulation& sim_;
   Overlay overlay_;

@@ -1,19 +1,67 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "common/error.hpp"
 
 namespace psn::sim {
 
+namespace {
+// std::greater puts the smallest (at, seq) at the heap front — a min-heap.
+constexpr std::greater<> kHeapOrder{};
+// Compaction threshold: rebuild once tombstones exceed both this floor and
+// the live-event count. The floor keeps tiny calendars from rebuilding on
+// every cancel; the ratio bounds calendar memory at ~2x the live set.
+constexpr std::size_t kCompactFloor = 64;
+}  // namespace
+
+std::uint32_t Scheduler::acquire_slot(Callback&& fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    fn_at(slot) = std::move(fn);
+    return slot;
+  }
+  PSN_CHECK(slot_count_ < UINT32_MAX, "scheduler slab full");
+  const std::uint32_t slot = slot_count_++;
+  if ((slot & kSlotBlockMask) == 0) {
+    slab_.push_back(std::make_unique<Callback[]>(kSlotsPerBlock));
+  }
+  generations_.push_back(1);
+  fn_at(slot) = std::move(fn);
+  return slot;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  fn_at(slot).reset();
+  generations_[slot]++;
+  free_slots_.push_back(slot);
+}
+
 EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   PSN_CHECK(at >= now_, "cannot schedule into the past");
   PSN_CHECK(static_cast<bool>(fn), "null callback");
-  const std::uint64_t id = next_id_++;
-  queue_.push(QueueKey{at, next_seq_++, id});
-  live_.emplace(id, std::move(fn));
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  const std::uint32_t generation = generations_[slot];
+  const QueueKey key{at, next_seq_++, slot, generation};
+  if (run_head_ == run_.size()) {
+    // Run drained: recycle the vector and start a fresh run.
+    run_.clear();
+    run_head_ = 0;
+    run_.push_back(key);
+  } else if (!(run_.back().at > at)) {
+    // Nondecreasing time and strictly increasing seq: appending keeps the
+    // run sorted by (at, seq). This is the overwhelmingly common case.
+    run_.push_back(key);
+  } else {
+    heap_.push_back(key);
+    std::push_heap(heap_.begin(), heap_.end(), kHeapOrder);
+  }
+  live_++;
   scheduled_metric_.inc();
-  return EventHandle(id);
+  return EventHandle(slot, generation);
 }
 
 EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
@@ -23,9 +71,25 @@ EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
 
 void Scheduler::cancel(EventHandle h) {
   if (!h.valid()) return;
-  if (live_.erase(h.id_) > 0) {  // queue entry becomes a tombstone
-    cancelled_metric_.inc();
+  if (h.slot_ >= slot_count_ || generations_[h.slot_] != h.generation_) {
+    return;  // already fired or cancelled; the slot may even be reoccupied
   }
+  release_slot(h.slot_);
+  live_--;
+  tombstones_++;  // the key stays in the calendar until popped or compacted
+  cancelled_metric_.inc();
+  if (tombstones_ > kCompactFloor && tombstones_ > live_) compact();
+}
+
+void Scheduler::compact() {
+  run_.erase(run_.begin(),
+             run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
+  run_head_ = 0;
+  // erase_if preserves relative order, so the run stays sorted.
+  std::erase_if(run_, [this](const QueueKey& k) { return !slot_matches(k); });
+  std::erase_if(heap_, [this](const QueueKey& k) { return !slot_matches(k); });
+  std::make_heap(heap_.begin(), heap_.end(), kHeapOrder);
+  tombstones_ = 0;
 }
 
 void Scheduler::bind_metrics(MetricsRegistry& registry) {
@@ -34,13 +98,36 @@ void Scheduler::bind_metrics(MetricsRegistry& registry) {
   cancelled_metric_ = registry.counter("sim.events_cancelled");
 }
 
-void Scheduler::execute_top() {
-  const QueueKey key = queue_.top();
-  queue_.pop();
-  const auto it = live_.find(key.id);
-  if (it == live_.end()) return;  // cancelled
-  Callback fn = std::move(it->second);
-  live_.erase(it);
+const Scheduler::QueueKey* Scheduler::top() const {
+  const QueueKey* r = run_head_ < run_.size() ? &run_[run_head_] : nullptr;
+  const QueueKey* h = heap_.empty() ? nullptr : heap_.data();
+  if (r == nullptr) return h;
+  if (h == nullptr) return r;
+  return *h > *r ? r : h;  // seqs are unique, so the order is strict
+}
+
+void Scheduler::pop_top() {
+  const QueueKey* r = run_head_ < run_.size() ? &run_[run_head_] : nullptr;
+  if (r != nullptr && (heap_.empty() || heap_.front() > *r)) {
+    run_head_++;
+    if (run_head_ == run_.size()) {
+      run_.clear();
+      run_head_ = 0;
+    }
+    return;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), kHeapOrder);
+  heap_.pop_back();
+}
+
+void Scheduler::execute_top(QueueKey key) {
+  pop_top();
+  // The callback is moved out and the slot vacated *before* invocation, so
+  // the callback is free to schedule (possibly into this very slot) or
+  // cancel anything, including its own now-stale handle.
+  Callback fn = std::move(fn_at(key.slot));
+  release_slot(key.slot);
+  live_--;
   now_ = key.at;
   executed_++;
   executed_metric_.inc();
@@ -48,20 +135,22 @@ void Scheduler::execute_top() {
 }
 
 SimTime Scheduler::next_time() {
-  while (!queue_.empty() && !live_.contains(queue_.top().id)) {
-    queue_.pop();  // drain cancelled-event tombstones
+  for (const QueueKey* k = top(); k != nullptr; k = top()) {
+    if (slot_matches(*k)) return k->at;
+    pop_top();  // drain cancelled-event tombstones
+    tombstones_--;
   }
-  return queue_.empty() ? SimTime::max() : queue_.top().at;
+  return SimTime::max();
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    const auto it = live_.find(queue_.top().id);
-    if (it == live_.end()) {
-      queue_.pop();  // drain tombstone
+  for (const QueueKey* k = top(); k != nullptr; k = top()) {
+    if (!slot_matches(*k)) {
+      pop_top();  // drain tombstone
+      tombstones_--;
       continue;
     }
-    execute_top();
+    execute_top(*k);
     return true;
   }
   return false;
@@ -69,13 +158,13 @@ bool Scheduler::step() {
 
 std::size_t Scheduler::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    const auto it = live_.find(queue_.top().id);
-    if (it == live_.end()) {
-      queue_.pop();
+  for (const QueueKey* k = top(); k != nullptr && !(k->at > until); k = top()) {
+    if (!slot_matches(*k)) {
+      pop_top();
+      tombstones_--;
       continue;
     }
-    execute_top();
+    execute_top(*k);
     n++;
   }
   // Time advances to `until` even if the calendar went quiet earlier, so a

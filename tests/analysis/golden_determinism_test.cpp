@@ -1,0 +1,146 @@
+// Golden determinism fixtures (label: par): the hot-path implementation may
+// change freely — slab scheduler, shared-payload broadcast, dense detector
+// state — but the *observable* run artifacts may not. The fixtures below
+// were captured from the pre-optimization implementation (PR 3 head) for the
+// stock occupancy config under all three wire clock modes; this suite
+// asserts that detections, the per-run metrics snapshot CSV, the trace
+// JSONL, and the sweep-merged metrics CSV reproduce them byte-identically
+// at 1 and at 8 worker threads.
+//
+// To regenerate after an *intentional* semantic change (never after a pure
+// optimization), run with PSN_GOLDEN_PRINT=1 and paste the printed table:
+//   PSN_GOLDEN_PRINT=1 ./test_golden --gtest_filter='*Golden*'
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "analysis/export.hpp"
+#include "analysis/sweep.hpp"
+#include "net/message.hpp"
+
+namespace psn::analysis {
+namespace {
+
+// FNV-1a 64-bit: tiny, dependency-free, stable across platforms for byte
+// input — all we need to pin run artifacts without committing megabytes.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+/// The stock occupancy configuration (all defaults) with tracing enabled and
+/// a horizon short enough for a test budget. Every default the experiment
+/// ships with — doors, capacity, rate, Δ, ε, lossless, always-on — is kept.
+OccupancyConfig stock(net::ClockMode mode) {
+  OccupancyConfig cfg;
+  cfg.horizon = Duration::seconds(20);
+  cfg.clock_mode = mode;
+  cfg.trace_capacity = 1 << 18;  // complete trace; eviction would fail below
+  return cfg;
+}
+
+std::string detections_bytes(const OccupancyRunResult& run) {
+  std::string out;
+  for (const DetectorOutcome& o : run.outcomes) {
+    out += o.detector;
+    out += '\n';
+    out += detections_table(o.detections).csv();
+  }
+  return out;
+}
+
+struct GoldenHashes {
+  const char* mode;
+  const char* detections;
+  const char* metrics_csv;
+  const char* trace_jsonl;
+};
+
+// --- fixtures: pre-optimization implementation, seed 1, 20 s horizon ---
+constexpr GoldenHashes kGolden[] = {
+    {"scalar", "471f3957e0466713", "9ea4f163c4ec572d", "fc78d5afcb64949"},
+    {"vector", "471f3957e0466713", "4c65bd9da942eebd", "f50546c005dc00a9"},
+    {"physical", "471f3957e0466713", "5a1f477ebcc59ebb", "f2e3f73d965ba805"},
+};
+constexpr const char* kGoldenSweepMetricsCsv = "11403998d35bca18";
+
+bool print_mode() { return std::getenv("PSN_GOLDEN_PRINT") != nullptr; }
+
+std::vector<OccupancyConfig> stock_configs() {
+  return {stock(net::ClockMode::kScalarStrobe),
+          stock(net::ClockMode::kVectorStrobe),
+          stock(net::ClockMode::kPhysical)};
+}
+
+class GoldenDeterminismTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GoldenDeterminismTest, RunArtifactsMatchPreOptimizationFixtures) {
+  const unsigned threads = GetParam();
+  const std::vector<OccupancyRunResult> runs =
+      run_specs(stock_configs(), threads);
+  ASSERT_EQ(runs.size(), 3u);
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const OccupancyRunResult& run = runs[i];
+    ASSERT_EQ(run.trace_evicted, 0u) << "trace ring too small for the run";
+    const std::string det = hex64(fnv1a(detections_bytes(run)));
+    const std::string met = hex64(fnv1a(run.metrics.csv()));
+    const std::string tra = hex64(fnv1a(trace_jsonl(run.trace)));
+    if (print_mode()) {
+      std::printf("    {\"%s\", \"%s\", \"%s\", \"%s\"},\n", kGolden[i].mode,
+                  det.c_str(), met.c_str(), tra.c_str());
+      continue;
+    }
+    EXPECT_EQ(det, kGolden[i].detections)
+        << kGolden[i].mode << ": detection stream diverged from golden";
+    EXPECT_EQ(met, kGolden[i].metrics_csv)
+        << kGolden[i].mode << ": metrics snapshot diverged from golden";
+    EXPECT_EQ(tra, kGolden[i].trace_jsonl)
+        << kGolden[i].mode << ": trace JSONL diverged from golden";
+  }
+}
+
+TEST_P(GoldenDeterminismTest, SweepMergedMetricsMatchFixture) {
+  // The merge path: three modes × two replications fanned across the pool,
+  // merged in grid order. Exercises the metric-merge determinism contract on
+  // top of the per-run one.
+  const unsigned threads = GetParam();
+  SweepSpec spec = sweep(stock(net::ClockMode::kScalarStrobe));
+  spec.vary_custom(
+          {[](OccupancyConfig& c) { c.clock_mode = net::ClockMode::kScalarStrobe; },
+           [](OccupancyConfig& c) { c.clock_mode = net::ClockMode::kVectorStrobe; },
+           [](OccupancyConfig& c) { c.clock_mode = net::ClockMode::kPhysical; }})
+      .replications(2)
+      .threads(threads);
+  const std::string csv_hash = hex64(fnv1a(spec.run().metrics_csv()));
+  if (print_mode()) {
+    std::printf("    kGoldenSweepMetricsCsv = \"%s\"\n", csv_hash.c_str());
+    return;
+  }
+  EXPECT_EQ(csv_hash, kGoldenSweepMetricsCsv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GoldenDeterminismTest,
+                         ::testing::Values(1u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned>& param) {
+                           return std::to_string(param.param) + "threads";
+                         });
+
+}  // namespace
+}  // namespace psn::analysis

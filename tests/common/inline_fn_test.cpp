@@ -1,0 +1,160 @@
+#include "common/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace psn {
+namespace {
+
+using Fn = InlineFn<int(), 32>;
+
+/// Callable that tallies constructions/destructions into external counters,
+/// so storage bugs (double-destroy, leak on move, destroy of moved-from
+/// source) show up as count mismatches.
+struct Counted {
+  int* constructed;
+  int* destroyed;
+  int value;
+
+  Counted(int* c, int* d, int v) : constructed(c), destroyed(d), value(v) {
+    ++*constructed;
+  }
+  Counted(const Counted& o)
+      : constructed(o.constructed), destroyed(o.destroyed), value(o.value) {
+    ++*constructed;
+  }
+  Counted(Counted&& o) noexcept
+      : constructed(o.constructed), destroyed(o.destroyed), value(o.value) {
+    ++*constructed;
+  }
+  ~Counted() { ++*destroyed; }
+  int operator()() const { return value; }
+};
+
+TEST(InlineFnTest, InlineVsHeapBoundaryIsExact) {
+  struct Fits {
+    std::array<char, 32> pad;
+    void operator()() const {}
+  };
+  struct Overflows {
+    std::array<char, 33> pad;
+    void operator()() const {}
+  };
+  using F = InlineFn<void(), 32>;
+  static_assert(F::stores_inline<Fits>(), "exactly-at-capacity stays inline");
+  static_assert(!F::stores_inline<Overflows>(), "one past capacity heaps");
+
+  // A throwing move disqualifies a closure from the inline buffer even when
+  // it fits: relocation must be noexcept for the scheduler's slab moves.
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) {}  // NOLINT: intentionally not noexcept
+    void operator()() const {}
+  };
+  static_assert(!F::stores_inline<ThrowingMove>(),
+                "throwing-move closures must heap-allocate");
+
+  // Both variants still invoke fine; only the storage strategy differs.
+  F inline_fn{Fits{}};
+  F heap_fn{Overflows{}};
+  inline_fn();
+  heap_fn();
+}
+
+TEST(InlineFnTest, InvokesAndReturnsThroughBothStorages) {
+  Fn small{[] { return 7; }};
+  std::array<char, 64> big_pad{};
+  big_pad[0] = 35;
+  auto big_closure = [big_pad] { return static_cast<int>(big_pad[0]); };
+  static_assert(!Fn::stores_inline<decltype(big_closure)>());
+  Fn big{big_closure};
+  EXPECT_EQ(small(), 7);
+  EXPECT_EQ(big(), 35);
+}
+
+TEST(InlineFnTest, MoveTransfersInlineTarget) {
+  int constructed = 0;
+  int destroyed = 0;
+  {
+    Fn a{Counted(&constructed, &destroyed, 11)};
+    Fn b{std::move(a)};
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(b(), 11);
+  }
+  EXPECT_EQ(constructed, destroyed);  // every construction matched by destroy
+}
+
+TEST(InlineFnTest, MoveTransfersHeapCellWithoutCopying) {
+  int constructed = 0;
+  int destroyed = 0;
+  struct BigCounted : Counted {
+    std::array<char, 64> pad{};
+    using Counted::Counted;
+    BigCounted(const BigCounted&) = default;
+    BigCounted(BigCounted&&) noexcept = default;
+  };
+  static_assert(!Fn::stores_inline<BigCounted>());
+  {
+    Fn a{BigCounted(&constructed, &destroyed, 5)};
+    const int constructed_before_move = constructed;
+    Fn b{std::move(a)};
+    // The heap cell's ownership moved with the pointer: no new object.
+    EXPECT_EQ(constructed, constructed_before_move);
+    EXPECT_EQ(b(), 5);
+  }
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(InlineFnTest, MoveAssignDestroysPreviousTarget) {
+  int constructed = 0;
+  int destroyed = 0;
+  Fn a{Counted(&constructed, &destroyed, 1)};
+  const int destroyed_before = destroyed;
+  a = Fn{[] { return 2; }};
+  EXPECT_GT(destroyed, destroyed_before);  // old target destroyed
+  EXPECT_EQ(a(), 2);
+  // Every Counted ever constructed is destroyed — no double-destroy, no leak.
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(InlineFnTest, ResetDestroysAndEmpties) {
+  int constructed = 0;
+  int destroyed = 0;
+  Fn a{Counted(&constructed, &destroyed, 3)};
+  a.reset();
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(constructed, destroyed);
+  a.reset();  // idempotent on empty
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(InlineFnTest, DefaultConstructedIsEmpty) {
+  Fn a;
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(InlineFnTest, HoldsMoveOnlyClosures) {
+  // std::function cannot hold this; InlineFn is move-only so it can.
+  auto owner = std::make_unique<int>(42);
+  InlineFn<int()> f{[owner = std::move(owner)] { return *owner; }};
+  InlineFn<int()> g{std::move(f)};
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFnTest, ForwardsArguments) {
+  InlineFn<int(int, int)> add{[](int a, int b) { return a + b; }};
+  EXPECT_EQ(add(2, 3), 5);
+  InlineFn<void(std::unique_ptr<int>&&, int&)> sink{
+      [](std::unique_ptr<int>&& p, int& out) { out = *p; }};
+  int out = 0;
+  sink(std::make_unique<int>(9), out);
+  EXPECT_EQ(out, 9);
+}
+
+}  // namespace
+}  // namespace psn

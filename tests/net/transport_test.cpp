@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -37,8 +38,11 @@ struct Fixture {
     m.kind = MessageKind::kComputation;
     ComputationPayload payload;
     payload.stamps.causal_vector = clocks::VectorStamp(transport.overlay().size());
-    payload.tag = "t";
-    m.payload = payload;
+    // Built via += rather than = "t": GCC 12's -Wrestrict false-fires on
+    // the const char* assign inlined into the shared-payload move
+    // (PR 105651; same workaround as predicate.cpp).
+    payload.tag += 't';
+    m.payload = std::move(payload);
     return m;
   }
 

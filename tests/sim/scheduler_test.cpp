@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -146,6 +149,147 @@ TEST(SchedulerTest, TotalExecutedCountsAcrossRuns) {
   s.schedule_at(at(2), [] {});
   s.run();
   EXPECT_EQ(s.total_executed(), 2u);
+}
+
+TEST(SchedulerSlabTest, StaleHandleCannotCancelRecycledSlot) {
+  // Generation safety: after A fires, its slab slot is recycled for B.
+  // Cancelling A's (now stale) handle must not touch B.
+  Scheduler s;
+  bool a_ran = false;
+  bool b_ran = false;
+  const EventHandle a = s.schedule_at(at(1), [&] { a_ran = true; });
+  s.run();
+  ASSERT_TRUE(a_ran);
+  s.schedule_at(at(2), [&] { b_ran = true; });  // reuses A's slot
+  s.cancel(a);                                  // stale: must be a no-op
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(SchedulerSlabTest, CancelledHandleStaysStaleAcrossReuse) {
+  // Cancel, recycle, cancel again: the second cancel of the same handle must
+  // not release the slot out from under its new tenant.
+  Scheduler s;
+  bool b_ran = false;
+  const EventHandle a = s.schedule_at(at(1), [] {});
+  s.cancel(a);
+  s.schedule_at(at(1), [&] { b_ran = true; });  // reuses the freed slot
+  s.cancel(a);                                  // double-cancel: no-op
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(SchedulerSlabTest, CallbackBeyondInlineCapacityStillRuns) {
+  // The slab's inline buffer is a fast path, not a capacity limit: a closure
+  // past kCallbackInlineBytes falls back to a heap cell transparently.
+  struct Big {
+    std::array<char, Scheduler::kCallbackInlineBytes + 8> pad;
+  };
+  static_assert(Scheduler::Callback::stores_inline<decltype([] {})>());
+  Scheduler s;
+  int seen = 0;
+  Big big{};
+  big.pad[0] = 3;
+  auto fat = [&seen, big] { seen = big.pad[0]; };
+  static_assert(!Scheduler::Callback::stores_inline<decltype(fat)>());
+  s.schedule_at(at(1), std::move(fat));
+  s.run();
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(SchedulerSlabTest, CancelHeavyWorkloadCompactsAndPreservesOrder) {
+  // Duty-cycle pattern: mass-schedule timers, cancel most before they fire.
+  // Tombstone compaction must bound the calendar while the survivors run in
+  // exactly their (time, schedule-seq) order.
+  Scheduler s;
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 2000; ++i) {
+    handles.push_back(
+        s.schedule_at(at(i + 1), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 10 != 0) s.cancel(handles[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(s.pending(), 200u);
+  s.run();
+  ASSERT_EQ(fired.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i * 10);
+  }
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerSlabTest, SlotsRecycleUnderSteadyChurn) {
+  // A bounded schedule/fire cycle must reuse slab slots rather than grow:
+  // observable as handles repeating the same slots (same handle values are
+  // private, so assert indirectly: massive churn, then cancellation of an
+  // early stale handle is still a no-op and order still holds).
+  Scheduler s;
+  EventHandle first = s.schedule_at(at(1), [] {});
+  s.run();
+  std::size_t fired = 0;
+  for (int round = 0; round < 1000; ++round) {
+    s.schedule_after(Duration::millis(1), [&fired] { fired++; });
+    s.run();
+  }
+  s.cancel(first);  // ancient handle, slot long since recycled
+  EXPECT_EQ(fired, 1000u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerOrderTest, OutOfOrderInsertsMergeDeterministically) {
+  // Exercises the monotone-run/overflow-heap split: in-order appends land in
+  // the run, earlier times land in the heap, and the merged execution order
+  // is still globally (time, seq).
+  Scheduler s;
+  std::vector<int> order;
+  auto push = [&order](int v) { return [&order, v] { order.push_back(v); }; };
+  s.schedule_at(at(20), push(0));  // run
+  s.schedule_at(at(10), push(1));  // heap (before run tail)
+  s.schedule_at(at(20), push(2));  // run again (ties with 0, after it)
+  s.schedule_at(at(15), push(3));  // heap
+  s.schedule_at(at(10), push(4));  // heap (ties with 1, after it)
+  s.schedule_at(at(30), push(5));  // run
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 3, 0, 2, 5}));
+}
+
+TEST(SchedulerOrderTest, RunRecyclesAfterDrainDuringExecution) {
+  // Once the calendar drains mid-run, later schedules start a fresh monotone
+  // run; times smaller than the *old* run tail must not be misplaced.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(at(100), [&] {
+    order.push_back(1);
+    // Calendar is empty here; this starts a new run at an earlier-than-ever
+    // absolute ordering position relative to the old tail.
+    s.schedule_after(Duration::millis(1), [&] { order.push_back(2); });
+  });
+  s.run();
+  s.schedule_at(at(102), [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), at(102));
+}
+
+TEST(SchedulerOrderTest, CancelFrontTombstoneIsSkippedAcrossContainers) {
+  // Tombstones at the head of either container must be drained lazily
+  // without disturbing the live merge order.
+  Scheduler s;
+  std::vector<int> order;
+  auto push = [&order](int v) { return [&order, v] { order.push_back(v); }; };
+  const EventHandle run_front = s.schedule_at(at(20), push(0));
+  const EventHandle heap_front = s.schedule_at(at(10), push(1));
+  s.schedule_at(at(25), push(2));
+  s.schedule_at(at(12), push(3));
+  s.cancel(run_front);
+  s.cancel(heap_front);
+  EXPECT_EQ(s.next_time(), at(12));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 2}));
 }
 
 TEST(SchedulerTest, RunawaySelfReschedulerStopsAtCap) {
