@@ -1,9 +1,13 @@
-// psn_cli — command-line driver for the simulation testbed: run any built-in
-// scenario under any time model configuration and get the per-detector
-// scorecard, optionally as CSV for plotting.
+// psn_cli — command-line driver for the simulation testbed, as subcommands:
 //
-// Usage:
-//   psn_cli [options]
+//   psn_cli run    [options]   simulate a scenario, print the detector
+//                              scorecard (optionally CSV / metrics / trace)
+//   psn_cli check  [options]   one traced run through the causality &
+//                              clock-contract checker and the Δ-race audit
+//   psn_cli serve  [options]   soak server: verify a JSONL trace stream from
+//                              stdin incrementally, with bounded memory
+//
+// Shared scenario options (run / check):
 //     --scenario hall|office|hospital   (default hall)
 //     --doors N          door/sensor count for hall        (default 4)
 //     --capacity N       hall capacity threshold           (default 200)
@@ -14,39 +18,45 @@
 //     --loss P           per-transmission loss prob        (default 0)
 //     --seconds S        horizon                           (default 60)
 //     --seed N           RNG seed                          (default 1)
-//     --reps N           replications (seed, seed+1, ...)  (default 1)
-//     --threads N        sweep worker threads, 0 = all hardware threads
-//     --csv PATH         also write the scorecard as CSV
-//     --mode scalar|vector|physical     wire clock mode     (default vector)
-//     --metrics          print the merged metric snapshot table
-//     --trace PATH       write a JSONL event trace of one run (seed = --seed)
-//     --trace-cap N      trace ring capacity in records     (default 1000000)
-//     --check            replay one run (seed = --seed) through the
-//                        causality & clock-contract checker and the Δ-race
-//                        audit; exit 1 on any violation
+//     --mode scalar|vector|physical     wire clock mode    (default vector)
+//     --validity MS      observation validity horizon, 0 = unbounded
+//
+// run-only:  --reps N --threads N --csv PATH --metrics --trace PATH
+//            --trace-cap N
+// check-only: --trace-cap N
+// serve-only: --procs N --retention MS --metrics-every N --lenient
+//
+// Exit codes: 0 ok · 1 violations · 2 usage/config error · 3 stream input
+// rejected (serve) · 4 trace ring truncated under check.
 //
 // Examples:
-//   psn_cli --scenario hall --doors 8 --delta 250 --reps 10
-//   psn_cli --delay sync --delta 0        # the Δ=0 collapse
-//   psn_cli --loss 0.3 --seconds 120 --csv /tmp/lossy.csv
-//   psn_cli --mode scalar --metrics       # E7-style per-mode byte accounting
-//   psn_cli --trace /tmp/run.jsonl        # sense/send/deliver/... event log
-//   psn_cli --check --mode scalar         # clock-contract replay, CI-style
+//   psn_cli run --scenario hall --doors 8 --delta 250 --reps 10
+//   psn_cli run --delay sync --delta 0       # the Δ=0 collapse
+//   psn_cli run --trace /tmp/run.jsonl       # sense/send/deliver/... log
+//   psn_cli check --mode scalar              # clock-contract replay, CI-style
+//   psn_cli run --trace /dev/stdout --trace-cap 200000 | psn_cli serve
+//
+// The pre-subcommand flat-flag form (psn_cli --check ...) still works as a
+// deprecated alias and prints a migration hint on stderr.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/export.hpp"
 #include "analysis/sweep.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "serve/soak_server.hpp"
 
 namespace {
 
 using namespace psn;
+
+enum class Command { kRun, kCheck, kLegacy };
 
 struct CliOptions {
   std::string scenario = "hall";
@@ -66,7 +76,8 @@ struct CliOptions {
   bool metrics = false;
   std::string trace;
   std::size_t trace_cap = 1000000;
-  bool check = false;
+  std::int64_t validity_ms = 0;  // 0 = unbounded
+  bool check = false;            // legacy flat-flag form only
 };
 
 [[noreturn]] void usage_error(const std::string& why) {
@@ -75,25 +86,46 @@ struct CliOptions {
   std::exit(2);
 }
 
-CliOptions parse_cli(int argc, char** argv) {
+void print_shared_usage() {
+  std::printf(
+      "  shared options:\n"
+      "    [--scenario hall|office|hospital] [--doors N] [--capacity N]\n"
+      "    [--rate R] [--delta MS] [--delay uniform|fixed|exp|sync]\n"
+      "    [--eps US] [--loss P] [--seconds S] [--seed N]\n"
+      "    [--mode scalar|vector|physical] [--validity MS]\n");
+}
+
+[[noreturn]] void print_usage_and_exit() {
+  std::printf(
+      "usage: psn_cli <run|check|serve> [options]\n\n"
+      "  run    simulate and print the detector scorecard\n"
+      "         [--reps N] [--threads N] [--csv PATH] [--metrics]\n"
+      "         [--trace PATH] [--trace-cap N]\n"
+      "  check  replay one traced run through the clock-contract checker\n"
+      "         and the Delta-race audit; exit 1 on violations, 4 if the\n"
+      "         trace ring truncated\n"
+      "         [--trace-cap N]\n"
+      "  serve  verify a JSONL trace stream from stdin incrementally\n"
+      "         [--procs N] [--retention MS] [--validity MS]\n"
+      "         [--metrics-every N] [--lenient]\n\n");
+  print_shared_usage();
+  std::printf(
+      "\nexit codes: 0 ok, 1 violations, 2 usage/config error,\n"
+      "            3 stream input rejected, 4 trace ring truncated\n");
+  std::exit(0);
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args, Command cmd) {
   CliOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--help" || flag == "-h") {
-      std::printf(
-          "usage: psn_cli [--scenario hall|office|hospital] [--doors N]\n"
-          "               [--capacity N] [--rate R] [--delta MS]\n"
-          "               [--delay uniform|fixed|exp|sync] [--eps US]\n"
-          "               [--loss P] [--seconds S] [--seed N] [--reps N]\n"
-          "               [--threads N] [--csv PATH]\n"
-          "               [--mode scalar|vector|physical] [--metrics]\n"
-          "               [--trace PATH] [--trace-cap N] [--check]\n");
-      std::exit(0);
-    }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help" || flag == "-h") print_usage_and_exit();
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage_error("missing value for " + flag);
-      return argv[++i];
+      if (i + 1 >= args.size()) usage_error("missing value for " + flag);
+      return args[++i];
     };
+    // Flags restricted to `run` (and the legacy flat form).
+    const bool run_like = cmd != Command::kCheck;
     if (flag == "--scenario") {
       opt.scenario = value();
     } else if (flag == "--doors") {
@@ -114,26 +146,31 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.seconds = std::atoll(value().c_str());
     } else if (flag == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
-    } else if (flag == "--reps") {
-      opt.reps = static_cast<std::size_t>(std::atoll(value().c_str()));
-    } else if (flag == "--threads") {
-      const int threads = std::atoi(value().c_str());
-      if (threads < 0) usage_error("--threads must be >= 0");
-      opt.threads = static_cast<unsigned>(threads);
-    } else if (flag == "--csv") {
-      opt.csv = value();
     } else if (flag == "--mode") {
       opt.mode = value();
-    } else if (flag == "--metrics") {
-      opt.metrics = true;
-    } else if (flag == "--trace") {
-      opt.trace = value();
+    } else if (flag == "--validity") {
+      opt.validity_ms = std::atoll(value().c_str());
+      if (opt.validity_ms < 0) usage_error("--validity must be >= 0");
     } else if (flag == "--trace-cap") {
       const long long cap = std::atoll(value().c_str());
       if (cap <= 0) usage_error("--trace-cap must be > 0");
       opt.trace_cap = static_cast<std::size_t>(cap);
-    } else if (flag == "--check") {
+    } else if (run_like && flag == "--reps") {
+      opt.reps = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (run_like && flag == "--threads") {
+      const int threads = std::atoi(value().c_str());
+      if (threads < 0) usage_error("--threads must be >= 0");
+      opt.threads = static_cast<unsigned>(threads);
+    } else if (run_like && flag == "--csv") {
+      opt.csv = value();
+    } else if (run_like && flag == "--metrics") {
+      opt.metrics = true;
+    } else if (run_like && flag == "--trace") {
+      opt.trace = value();
+    } else if (cmd == Command::kLegacy && flag == "--check") {
       opt.check = true;
+    } else if (cmd == Command::kRun && flag == "--check") {
+      usage_error("--check moved to the `check` subcommand: psn_cli check");
     } else {
       usage_error("unknown flag " + flag);
     }
@@ -159,13 +196,9 @@ net::ClockMode clock_mode_of(const std::string& name) {
   usage_error("unknown clock mode '" + name + "'");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliOptions opt = parse_cli(argc, argv);
-
-  // Every scenario reduces to the occupancy harness with different
-  // parameters; office/hospital presets adjust rate/capacity flavor.
+/// Maps the shared scenario options onto the occupancy harness;
+/// office/hospital presets adjust rate/capacity flavor.
+analysis::OccupancyConfig occupancy_config_of(const CliOptions& opt) {
   analysis::OccupancyConfig cfg;
   cfg.doors = opt.doors;
   cfg.capacity = opt.capacity;
@@ -177,6 +210,9 @@ int main(int argc, char** argv) {
   cfg.horizon = Duration::seconds(opt.seconds);
   cfg.seed = opt.seed;
   cfg.clock_mode = clock_mode_of(opt.mode);
+  if (opt.validity_ms > 0) {
+    cfg.validity_horizon.lifetime = Duration::millis(opt.validity_ms);
+  }
   if (opt.scenario == "office") {
     cfg.doors = std::max<std::size_t>(2, opt.doors);
     cfg.capacity = 5;  // small-room occupancy
@@ -185,12 +221,22 @@ int main(int argc, char** argv) {
     cfg.capacity = 30;
     cfg.movement_rate = std::min(opt.rate, 6.0);
   } else if (opt.scenario != "hall") {
-    std::fprintf(stderr, "psn_cli: unknown scenario '%s'\n",
-                 opt.scenario.c_str());
-    return 2;
+    usage_error("unknown scenario '" + opt.scenario + "'");
   }
+  return cfg;
+}
 
-  std::printf(
+/// A trace destined for stdout turns the process into a JSONL producer
+/// (`psn_cli run --trace /dev/stdout | psn_cli serve`): every human-readable
+/// line must then go to stderr or it would corrupt the stream.
+bool trace_is_stdout(const CliOptions& opt) {
+  return opt.trace == "-" || opt.trace == "/dev/stdout";
+}
+
+void print_header(std::FILE* out, const CliOptions& opt,
+                  const analysis::OccupancyConfig& cfg) {
+  std::fprintf(
+      out,
       "scenario=%s doors=%zu capacity=%d rate=%.1f/s delay=%s delta=%lldms "
       "eps=%lldus loss=%.2f horizon=%llds reps=%zu seed=%llu mode=%s\n\n",
       opt.scenario.c_str(), cfg.doors, cfg.capacity, cfg.movement_rate,
@@ -199,6 +245,71 @@ int main(int argc, char** argv) {
       static_cast<long long>(opt.seconds), opt.reps,
       static_cast<unsigned long long>(opt.seed),
       net::to_string(cfg.clock_mode));
+}
+
+/// The checker half of the legacy flat-flag form and the whole `check`
+/// subcommand. Returns the process exit code.
+int run_check(const analysis::OccupancyConfig& base, const CliOptions& opt) {
+  analysis::OccupancyConfig checked = base;
+  checked.check = true;
+  if (checked.trace_capacity == 0) checked.trace_capacity = opt.trace_cap;
+  try {
+    const analysis::OccupancyRunResult run =
+        analysis::run_occupancy_experiment(checked);
+    std::printf("\n%s", run.check->summary().c_str());
+    if (!run.check->clean()) return 1;
+  } catch (const check::TraceWindowError& e) {
+    std::fprintf(stderr, "psn_cli: %s\n", e.what());
+    std::fprintf(stderr,
+                 "psn_cli: remedy: rerun with --trace-cap above the run's "
+                 "record count, or pipe the trace through `psn_cli serve` "
+                 "(streaming needs no ring)\n");
+    return 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psn_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+/// The trace-writing half of `run` (and the legacy form): the sweep merges
+/// snapshots but keeps no raw per-run trace, so re-run the base point
+/// (first seed) once with the trace ring enabled.
+int write_trace(const analysis::OccupancyConfig& base, const CliOptions& opt) {
+  analysis::OccupancyConfig traced = base;
+  traced.trace_capacity = opt.trace_cap;
+  try {
+    const analysis::OccupancyRunResult run =
+        analysis::run_occupancy_experiment(traced);
+    if (trace_is_stdout(opt)) {
+      std::fputs(analysis::trace_jsonl(run.trace).c_str(), stdout);
+      std::fflush(stdout);
+      std::fprintf(stderr, "psn_cli: wrote %zu trace records to stdout\n",
+                   run.trace.size());
+    } else {
+      analysis::write_trace_jsonl(run.trace, opt.trace);
+      std::printf("\nwrote %s (%zu records%s)\n", opt.trace.c_str(),
+                  run.trace.size(),
+                  run.trace_evicted > 0 ? ", ring overflowed — oldest evicted"
+                                        : "");
+    }
+    if (run.trace_evicted > 0) {
+      std::fprintf(stderr,
+                   "psn_cli: trace ring evicted %zu records; rerun with "
+                   "--trace-cap > %zu for a complete trace\n",
+                   run.trace_evicted, opt.trace_cap);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psn_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_run(const CliOptions& opt, bool legacy) {
+  const analysis::OccupancyConfig cfg = occupancy_config_of(opt);
+  std::FILE* human = trace_is_stdout(opt) ? stderr : stdout;
+  print_header(human, opt, cfg);
 
   analysis::SweepResult result;
   try {
@@ -226,59 +337,95 @@ int main(int argc, char** argv) {
         .cell(outcome.score.precision(), 3)
         .cell(outcome.belief_accuracy.mean(), 4);
   }
-  std::printf("%s", table.ascii().c_str());
+  std::fprintf(human, "%s", table.ascii().c_str());
   if (!opt.csv.empty()) {
     table.write_csv(opt.csv);
-    std::printf("\nwrote %s\n", opt.csv.c_str());
+    std::fprintf(human, "\nwrote %s\n", opt.csv.c_str());
   }
 
   if (opt.metrics) {
-    std::printf("\nmetrics (merged over %zu run%s):\n", result.runs,
-                result.runs == 1 ? "" : "s");
-    std::printf("%s",
-                result.points.front().metrics.table().ascii().c_str());
+    std::fprintf(human, "\nmetrics (merged over %zu run%s):\n", result.runs,
+                 result.runs == 1 ? "" : "s");
+    std::fprintf(human, "%s",
+                 result.points.front().metrics.table().ascii().c_str());
   }
 
-  if (opt.check) {
-    // Re-run the base point (first seed) with the checker on; the sweep
-    // merges snapshots and keeps no raw trace to replay.
-    analysis::OccupancyConfig checked = cfg;
-    checked.check = true;
-    if (checked.trace_capacity == 0) checked.trace_capacity = opt.trace_cap;
-    try {
-      const analysis::OccupancyRunResult run =
-          analysis::run_occupancy_experiment(checked);
-      std::printf("\n%s", run.check->summary().c_str());
-      if (!run.check->clean()) return 1;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "psn_cli: %s\n", e.what());
-      return 1;
-    }
+  if (legacy && opt.check) {
+    const int code = run_check(cfg, opt);
+    if (code != 0) return code;
   }
-
   if (!opt.trace.empty()) {
-    // The sweep merges snapshots but keeps no raw per-run trace; re-run the
-    // base point (first seed) once with the trace ring enabled.
-    analysis::OccupancyConfig traced = cfg;
-    traced.trace_capacity = opt.trace_cap;
-    try {
-      const analysis::OccupancyRunResult run =
-          analysis::run_occupancy_experiment(traced);
-      analysis::write_trace_jsonl(run.trace, opt.trace);
-      std::printf("\nwrote %s (%zu records%s)\n", opt.trace.c_str(),
-                  run.trace.size(),
-                  run.trace_evicted > 0 ? ", ring overflowed — oldest evicted"
-                                        : "");
-      if (run.trace_evicted > 0) {
-        std::fprintf(stderr,
-                     "psn_cli: trace ring evicted %zu records; rerun with "
-                     "--trace-cap > %zu for a complete trace\n",
-                     run.trace_evicted, opt.trace_cap);
-      }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "psn_cli: %s\n", e.what());
-      return 1;
-    }
+    const int code = write_trace(cfg, opt);
+    if (code != 0) return code;
   }
   return 0;
+}
+
+int cmd_check(const CliOptions& opt) {
+  const analysis::OccupancyConfig cfg = occupancy_config_of(opt);
+  print_header(stdout, opt, cfg);
+  return run_check(cfg, opt);
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::SoakServerConfig cfg;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help" || flag == "-h") print_usage_and_exit();
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) usage_error("missing value for " + flag);
+      return args[++i];
+    };
+    if (flag == "--procs") {
+      const long long n = std::atoll(value().c_str());
+      if (n < 0) usage_error("--procs must be >= 0");
+      cfg.num_processes = static_cast<std::size_t>(n);
+    } else if (flag == "--retention") {
+      const long long ms = std::atoll(value().c_str());
+      if (ms <= 0) usage_error("--retention must be > 0 ms");
+      cfg.send_retention = Duration::millis(ms);
+    } else if (flag == "--validity") {
+      const long long ms = std::atoll(value().c_str());
+      if (ms < 0) usage_error("--validity must be >= 0");
+      if (ms > 0) cfg.validity_horizon.lifetime = Duration::millis(ms);
+    } else if (flag == "--metrics-every") {
+      cfg.metrics_every =
+          static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (flag == "--lenient") {
+      cfg.lenient = true;
+    } else {
+      usage_error("unknown flag " + flag + " for serve");
+    }
+  }
+  serve::SoakServer server(cfg, std::cout);
+  const serve::SoakReport report = server.run(std::cin);
+  return report.exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "run") {
+    args.erase(args.begin());
+    return cmd_run(parse_cli(args, Command::kRun), /*legacy=*/false);
+  }
+  if (!args.empty() && args[0] == "check") {
+    args.erase(args.begin());
+    return cmd_check(parse_cli(args, Command::kCheck));
+  }
+  if (!args.empty() && args[0] == "serve") {
+    args.erase(args.begin());
+    return cmd_serve(args);
+  }
+  if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
+    print_usage_and_exit();
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr,
+                 "psn_cli: flat-flag invocation is deprecated; use "
+                 "`psn_cli run ...`, `psn_cli check ...`, or "
+                 "`psn_cli serve ...` (this alias keeps working for now)\n");
+  }
+  return cmd_run(parse_cli(args, Command::kLegacy), /*legacy=*/true);
 }

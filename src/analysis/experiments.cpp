@@ -78,6 +78,7 @@ OccupancyRunResult run_occupancy_experiment(
   sys.loss_windows = config.loss_windows;
   sys.duty_cycle = config.duty_cycle;
   sys.duty_phases_aligned = config.duty_phases_aligned;
+  sys.validity_horizon = config.validity_horizon;
 
   core::PervasiveSystem system(sys);
 
@@ -148,7 +149,9 @@ OccupancyRunResult run_occupancy_experiment(
   // offline detectors append their kDetect records (which it would ignore
   // anyway, but checking the smaller window is cheaper).
   if (config.check) {
-    result.check = check::check_system(system);
+    check::CheckOptions check_options;
+    check_options.validity_horizon = config.validity_horizon;
+    result.check = check::check_system(system, check_options);
   }
 
   sim::TraceRecorder* trace = system.sim().trace();
@@ -225,16 +228,6 @@ OccupancyRunResult run_occupancy_experiment(
     result.trace_evicted = trace->evicted();
   }
   return result;
-}
-
-// Forwarding shim for the deprecated free function: one grid point through
-// the sweep engine (which preserves the old seed, seed+1, … merge order at
-// any thread count). Kept for one release.
-std::map<std::string, AggregatedOutcome> run_occupancy_replicated(
-    OccupancyConfig config, std::size_t replications) {
-  SweepResult result =
-      sweep(std::move(config)).replications(replications).run();
-  return std::move(result.points.front().detectors);
 }
 
 }  // namespace psn::analysis

@@ -44,6 +44,12 @@ struct OccupancyConfig {
   /// net::ClockMode). Detection always scores every model side by side.
   net::ClockMode clock_mode = net::ClockMode::kVectorStrobe;
 
+  /// Kopetz-Steiner temporal validity horizon stamped on every observation
+  /// (core::ValidityHorizon). Unbounded by default; when bounded, the
+  /// incremental detector flags evaluations over expired state and the
+  /// checker (config.check) runs the validity-horizon contract.
+  core::ValidityHorizon validity_horizon;
+
   /// Event-trace ring capacity (records); 0 = tracing off. When on, the
   /// run's sense/send/receive/deliver/drop/detect records are returned in
   /// OccupancyRunResult::trace.
@@ -116,13 +122,5 @@ struct AggregatedOutcome {
   DetectionScore score;          ///< counts summed across replications
   RunningStats belief_accuracy;  ///< per-replication accuracy samples
 };
-
-/// Runs `replications` seeds (seed, seed+1, …) and sums per-detector scores.
-[[deprecated(
-    "use analysis::sweep(config).replications(n).run() — see "
-    "analysis/sweep.hpp; this forwarding shim will be removed next "
-    "release")]]
-std::map<std::string, AggregatedOutcome> run_occupancy_replicated(
-    OccupancyConfig config, std::size_t replications);
 
 }  // namespace psn::analysis

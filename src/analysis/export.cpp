@@ -56,10 +56,6 @@ Table metrics_table(const MetricsSnapshot& snapshot) {
   return snapshot.table();
 }
 
-namespace {
-
-// Escapes a string for a JSON string literal (quotes, backslashes, control
-// characters — the only bytes our trace notes can legally need).
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -83,8 +79,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string trace_jsonl(const std::vector<sim::TraceRecord>& records) {
   std::string out;
@@ -129,6 +123,26 @@ void write_trace_jsonl(const std::vector<sim::TraceRecord>& records,
   std::ofstream f(path);
   PSN_CHECK(f.good(), "cannot open trace output path: " + path);
   f << trace_jsonl(records);
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  char buf[64];
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out += '"' + json_escape(name) + "\":";
+    out += buf;
+  }
+  out += '}';
+  return out;
 }
 
 Table occurrences_table(const core::OracleResult& oracle) {

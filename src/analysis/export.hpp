@@ -38,6 +38,10 @@ Table occurrences_table(const core::OracleResult& oracle);
 /// interchange layer is one include.
 Table metrics_table(const MetricsSnapshot& snapshot);
 
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; no surrounding quotes added).
+std::string json_escape(const std::string& s);
+
 /// Serializes trace records as JSON Lines, one object per record:
 ///   {"t":1.25,"kind":"send","pid":3,"peer":0,"msg":"strobe","bytes":57}
 /// `msg` carries the net::MessageKind name (omitted for non-message
@@ -45,5 +49,10 @@ Table metrics_table(const MetricsSnapshot& snapshot);
 std::string trace_jsonl(const std::vector<sim::TraceRecord>& records);
 void write_trace_jsonl(const std::vector<sim::TraceRecord>& records,
                        const std::string& path);
+
+/// One compact JSON object of a snapshot's counters and gauges (name-sorted,
+/// no trailing newline) for streaming emitters — the soak server's periodic
+/// metrics lines. Stats and histograms render via metrics_table instead.
+std::string metrics_json(const MetricsSnapshot& snapshot);
 
 }  // namespace psn::analysis

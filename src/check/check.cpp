@@ -1,14 +1,10 @@
 #include "check/check.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <unordered_map>
 #include <utility>
 
-#include "clocks/timestamp.hpp"
+#include "check/stream_checker.hpp"
 #include "common/error.hpp"
 #include "core/system.hpp"
-#include "net/message.hpp"
 
 namespace psn::check {
 
@@ -29,6 +25,7 @@ const char* to_string(ViolationKind k) {
       return "unexplained-false-positive";
     case ViolationKind::kUnexplainedFalseNegative:
       return "unexplained-false-negative";
+    case ViolationKind::kStaleObservation: return "stale-observation";
   }
   return "?";
 }
@@ -90,402 +87,11 @@ std::string CheckReport::summary() const {
   return out;
 }
 
-namespace {
-
-constexpr int kStrobeKind = static_cast<int>(net::MessageKind::kStrobe);
-constexpr int kComputationKind =
-    static_cast<int>(net::MessageKind::kComputation);
-
-/// Oracle stamps of a computation message at its send event, plus the
-/// claimed Lamport value the receiver must exceed.
-struct SentComputation {
-  clocks::VectorStamp oracle_vc;
-  std::uint64_t claimed_lamport = 0;
-};
-
-/// Oracle strobe stamps broadcast by a sense event (SSC1/SVC1 output).
-struct SentStrobe {
-  std::uint64_t scalar = 0;
-  clocks::VectorStamp vector;
-};
-
-/// Claimed strobe vector of one sense event, for the pairwise soundness scan.
-struct SenseSample {
-  SimTime at;
-  ProcessId pid = kNoProcess;
-  std::size_t local_index = 0;
-  clocks::VectorStamp strobe;
-};
-
-/// Per-process oracle state maintained by the replay.
-struct OracleState {
-  clocks::VectorStamp causal_vc;   ///< ground-truth vector timestamp
-  std::uint64_t lamport_floor = 0;  ///< claimed Lamport of the previous event
-  std::uint64_t strobe_scalar = 0;  ///< SSC replay value
-  clocks::VectorStamp strobe_vc;    ///< SVC replay vector
-  std::size_t cursor = 0;           ///< next unconsumed execution event
-};
-
-class Replay {
- public:
-  Replay(const RunInputs& in, const CheckOptions& opt) : in_(in), opt_(opt) {
-    states_.resize(in_.num_processes);
-    for (auto& s : states_) {
-      s.causal_vc = clocks::VectorStamp(in_.num_processes);
-      s.strobe_vc = clocks::VectorStamp(in_.num_processes);
-    }
-    hb_.contract = "hb-graph";
-    lamport_.contract = "lamport";
-    vector_.contract = "vector";
-    strobe_scalar_.contract = "strobe-scalar";
-    strobe_vector_.contract = "strobe-vector";
-    soundness_.contract = "strobe-soundness";
-    epsilon_.contract = "physical-epsilon";
-    drift_.contract = "physical-drift";
-  }
-
-  CheckReport run() {
-    if (in_.trace_evicted > 0) {
-      run_partial_window();
-    } else {
-      run_full();
-    }
-    return finish();
-  }
-
- private:
-  void add(ContractResult& c, CheckViolation v) {
-    c.violations_total++;
-    if (c.violations.size() < opt_.max_recorded_violations) {
-      c.violations.push_back(std::move(v));
-    }
-  }
-
-  /// Window-independent contracts only: per-event physical bounds and the
-  /// program-order half of the Lamport condition. Message edges, vector
-  /// equality, and the strobe replays all need the complete trace window.
-  void run_partial_window() {
-    for (ContractResult* c :
-         {&hb_, &vector_, &strobe_scalar_, &strobe_vector_, &soundness_}) {
-      c->checked = false;
-    }
-    for (ProcessId p = 0; p < in_.num_processes; ++p) {
-      for (const core::ProcessEvent& e : in_.executions[p]) {
-        check_physical(p, e);
-        check_lamport_program_order(p, e);
-        lamport_.events_checked++;
-      }
-    }
-  }
-
-  void run_full() {
-    for (const sim::TraceRecord& r : in_.trace) {
-      switch (r.kind) {
-        case sim::TraceKind::kSense:
-          consume_target(r.pid, core::EventType::kSense, r.seq, r);
-          break;
-        case sim::TraceKind::kSend:
-          if (r.message_kind == kComputationKind) {
-            consume_target(r.pid, core::EventType::kSend, r.seq, r);
-          }
-          break;
-        case sim::TraceKind::kReceive:
-          if (r.message_kind == kComputationKind) {
-            consume_target(r.pid, core::EventType::kReceive, r.seq, r);
-          }
-          break;
-        case sim::TraceKind::kDeliver:
-          if (r.message_kind == kStrobeKind) on_strobe_delivery(r);
-          break;
-        case sim::TraceKind::kDrop:
-        case sim::TraceKind::kUnreachable:
-        case sim::TraceKind::kDetect:
-          break;
-      }
-    }
-    // Drain events past the last trace record (trailing compute/actuate
-    // events; anything message-bearing left here was never traced).
-    for (ProcessId p = 0; p < in_.num_processes; ++p) {
-      while (states_[p].cursor < in_.executions[p].size()) {
-        const core::ProcessEvent& e = in_.executions[p][states_[p].cursor];
-        if (e.type != core::EventType::kCompute &&
-            e.type != core::EventType::kActuate) {
-          add(hb_, {ViolationKind::kUntracedEvent, p, e.local_index,
-                    e.message_seq, e.clocks.true_time,
-                    std::string(core::to_string(e.type)) +
-                        " event never appeared in the trace"});
-        }
-        consume_one(p, /*synced_with_trace=*/false);
-      }
-    }
-    scan_soundness();
-  }
-
-  /// Consumes execution events of `p` up to and including the one matching
-  /// (type, seq). Intermediate events are consumed as catch-up: internal
-  /// compute/actuate events are expected there; message-bearing events are
-  /// not (their own trace records should have consumed them first) and are
-  /// flagged kUntracedEvent. If no matching event remains, flags
-  /// kUnmatchedSend/kUnmatchedReceive and consumes nothing.
-  void consume_target(ProcessId p, core::EventType type, std::uint64_t seq,
-                      const sim::TraceRecord& r) {
-    if (p >= in_.num_processes) {
-      add(hb_, {ViolationKind::kUnmatchedSend, p, 0, seq, r.at,
-                "trace names pid out of range"});
-      return;
-    }
-    const auto& events = in_.executions[p];
-    std::size_t target = states_[p].cursor;
-    while (target < events.size() &&
-           !(events[target].type == type && events[target].message_seq == seq)) {
-      target++;
-    }
-    if (target == events.size()) {
-      const auto kind = type == core::EventType::kReceive
-                            ? ViolationKind::kUnmatchedReceive
-                            : ViolationKind::kUnmatchedSend;
-      add(hb_, {kind, p, 0, seq, r.at,
-                std::string("trace record has no matching ") +
-                    core::to_string(type) + " event in the execution"});
-      return;
-    }
-    while (states_[p].cursor < target) {
-      const core::ProcessEvent& e = events[states_[p].cursor];
-      if (e.type != core::EventType::kCompute &&
-          e.type != core::EventType::kActuate) {
-        add(hb_, {ViolationKind::kUntracedEvent, p, e.local_index,
-                  e.message_seq, e.clocks.true_time,
-                  std::string(core::to_string(e.type)) +
-                      " event skipped by the trace (record missing?)"});
-      }
-      consume_one(p, /*synced_with_trace=*/false);
-    }
-    consume_one(p, /*synced_with_trace=*/true);
-  }
-
-  /// Processes one execution event of `p` against every oracle.
-  /// `synced_with_trace` is true when this event is being consumed by its
-  /// own trace record, i.e. the strobe oracle state is exactly current —
-  /// only then are the strobe clocks compared (catch-up consumption has
-  /// ambiguous ordering against strobe deliveries).
-  void consume_one(ProcessId p, bool synced_with_trace) {
-    OracleState& s = states_[p];
-    const core::ProcessEvent& e = in_.executions[p][s.cursor++];
-    check_physical(p, e);
-    check_lamport_program_order(p, e);
-    lamport_.events_checked++;
-
-    switch (e.type) {
-      case core::EventType::kReceive: {
-        const auto it = comp_sent_.find(e.message_seq);
-        if (e.message_seq == 0 || it == comp_sent_.end()) {
-          add(hb_, {ViolationKind::kUnmatchedReceive, p, e.local_index,
-                    e.message_seq, e.clocks.true_time,
-                    "receive event has no matching send (dropped "
-                    "send->receive edge)"});
-          // Resync the oracle to the claimed stamps so one severed edge does
-          // not cascade into mismatch reports for every later event.
-          if (e.clocks.causal_vector.size() == s.causal_vc.size()) {
-            s.causal_vc = e.clocks.causal_vector;
-          }
-          s.lamport_floor = e.clocks.lamport.value;
-          return;
-        }
-        // VC3: merge the sender's oracle stamp, then tick own component.
-        s.causal_vc.merge(it->second.oracle_vc);
-        if (p < s.causal_vc.size()) s.causal_vc[p]++;
-        // Lamport message edge: C(receive) must exceed C(send).
-        if (e.clocks.lamport.value <= it->second.claimed_lamport) {
-          add(lamport_,
-              {ViolationKind::kLamportOrder, p, e.local_index, e.message_seq,
-               e.clocks.true_time,
-               "C(receive)=" + std::to_string(e.clocks.lamport.value) +
-                   " not greater than C(send)=" +
-                   std::to_string(it->second.claimed_lamport)});
-        }
-        break;
-      }
-      case core::EventType::kSend:
-        if (p < s.causal_vc.size()) s.causal_vc[p]++;  // VC2
-        if (e.message_seq != 0) {
-          comp_sent_[e.message_seq] =
-              SentComputation{s.causal_vc, e.clocks.lamport.value};
-        }
-        break;
-      case core::EventType::kSense: {
-        if (p < s.causal_vc.size()) s.causal_vc[p]++;  // VC1
-        // SSC1/SVC1: tick the strobe oracles and remember the broadcast.
-        s.strobe_scalar++;
-        if (p < s.strobe_vc.size()) s.strobe_vc[p]++;
-        if (e.message_seq != 0) {
-          strobe_sent_[e.message_seq] =
-              SentStrobe{s.strobe_scalar, s.strobe_vc};
-        }
-        if (synced_with_trace) {
-          strobe_scalar_.events_checked++;
-          if (e.clocks.strobe_scalar.value != s.strobe_scalar) {
-            add(strobe_scalar_,
-                {ViolationKind::kStrobeScalarMismatch, p, e.local_index,
-                 e.message_seq, e.clocks.true_time,
-                 "claimed " + std::to_string(e.clocks.strobe_scalar.value) +
-                     " != SSC replay " + std::to_string(s.strobe_scalar)});
-          }
-          strobe_vector_.events_checked++;
-          if (e.clocks.strobe_vector != s.strobe_vc) {
-            add(strobe_vector_,
-                {ViolationKind::kStrobeVectorMismatch, p, e.local_index,
-                 e.message_seq, e.clocks.true_time,
-                 "claimed " + e.clocks.strobe_vector.to_string() +
-                     " != SVC replay " + s.strobe_vc.to_string()});
-          }
-        }
-        senses_.push_back(
-            {e.clocks.true_time, p, e.local_index, e.clocks.strobe_vector});
-        break;
-      }
-      case core::EventType::kCompute:
-      case core::EventType::kActuate:
-        if (p < s.causal_vc.size()) s.causal_vc[p]++;  // VC1
-        break;
-    }
-
-    vector_.events_checked++;
-    if (e.clocks.causal_vector != s.causal_vc) {
-      add(vector_, {ViolationKind::kVectorMismatch, p, e.local_index,
-                    e.message_seq, e.clocks.true_time,
-                    "claimed " + e.clocks.causal_vector.to_string() +
-                        " != oracle " + s.causal_vc.to_string()});
-    }
-  }
-
-  void on_strobe_delivery(const sim::TraceRecord& r) {
-    if (r.pid >= in_.num_processes) return;
-    const auto it = strobe_sent_.find(r.seq);
-    if (r.seq == 0 || it == strobe_sent_.end()) {
-      add(hb_, {ViolationKind::kUnmatchedDeliver, r.pid, 0, r.seq, r.at,
-                "strobe delivery from an unknown sense broadcast"});
-      return;
-    }
-    // SSC2/SVC2: merge, no tick.
-    OracleState& s = states_[r.pid];
-    s.strobe_scalar = std::max(s.strobe_scalar, it->second.scalar);
-    s.strobe_vc.merge(it->second.vector);
-  }
-
-  /// Lamport program-order edge: C strictly increases at every local event
-  /// (all five event types tick).
-  void check_lamport_program_order(ProcessId p, const core::ProcessEvent& e) {
-    OracleState& s = states_[p];
-    if (e.clocks.lamport.value <= s.lamport_floor) {
-      add(lamport_, {ViolationKind::kLamportOrder, p, e.local_index,
-                     e.message_seq, e.clocks.true_time,
-                     "C=" + std::to_string(e.clocks.lamport.value) +
-                         " not greater than predecessor C=" +
-                         std::to_string(s.lamport_floor)});
-    }
-    s.lamport_floor = e.clocks.lamport.value;
-  }
-
-  void check_physical(ProcessId p, const core::ProcessEvent& e) {
-    epsilon_.events_checked++;
-    const Duration synced_err =
-        (e.clocks.physical_synced - e.clocks.true_time).abs();
-    if (synced_err > in_.sync_epsilon) {
-      add(epsilon_,
-          {ViolationKind::kEpsilonBound, p, e.local_index, 0,
-           e.clocks.true_time,
-           "|synced - true| = " + std::to_string(synced_err.to_seconds()) +
-               "s exceeds epsilon = " +
-               std::to_string(in_.sync_epsilon.to_seconds()) + "s"});
-    }
-    drift_.events_checked++;
-    const Duration local_err =
-        (e.clocks.physical_local - e.clocks.true_time).abs();
-    const Duration envelope =
-        in_.drifting.initial_offset.abs() + in_.drifting.read_jitter.abs() +
-        Duration::from_seconds(std::abs(in_.drifting.drift_ppm) * 1e-6 *
-                               e.clocks.true_time.to_seconds()) +
-        Duration::nanos(1);  // rounding slack on the ppm term
-    if (local_err > envelope) {
-      add(drift_,
-          {ViolationKind::kDriftBound, p, e.local_index, 0,
-           e.clocks.true_time,
-           "|local - true| = " + std::to_string(local_err.to_seconds()) +
-               "s outside the drift envelope " +
-               std::to_string(envelope.to_seconds()) + "s"});
-    }
-  }
-
-  /// Strobe partial-order soundness: stamps can only order sense events the
-  /// way true time did — strobe information travels forward in time, so
-  /// V(a) < V(b) with true(b) < true(a) is impossible in a correct run.
-  void scan_soundness() {
-    std::vector<const SenseSample*> picked;
-    picked.reserve(std::min(senses_.size(), opt_.max_pairwise_events));
-    if (senses_.size() <= opt_.max_pairwise_events) {
-      for (const auto& s : senses_) picked.push_back(&s);
-    } else {
-      const std::size_t stride =
-          (senses_.size() + opt_.max_pairwise_events - 1) /
-          opt_.max_pairwise_events;
-      for (std::size_t i = 0; i < senses_.size(); i += stride) {
-        picked.push_back(&senses_[i]);
-      }
-    }
-    std::sort(picked.begin(), picked.end(),
-              [](const SenseSample* a, const SenseSample* b) {
-                return a->at < b->at;
-              });
-    for (std::size_t i = 0; i < picked.size(); ++i) {
-      for (std::size_t j = i + 1; j < picked.size(); ++j) {
-        if (picked[i]->at == picked[j]->at) continue;  // ties claim nothing
-        if (picked[i]->strobe.size() != picked[j]->strobe.size()) continue;
-        soundness_.pairs_checked++;
-        if (clocks::happens_before(picked[j]->strobe, picked[i]->strobe)) {
-          add(soundness_,
-              {ViolationKind::kStrobeUnsoundOrder, picked[j]->pid,
-               picked[j]->local_index, 0, picked[j]->at,
-               "sense at " + std::to_string(picked[j]->at.to_seconds()) +
-                   "s strobe-ordered before sense at " +
-                   std::to_string(picked[i]->at.to_seconds()) +
-                   "s (pid " + std::to_string(picked[i]->pid) + ")"});
-        }
-      }
-    }
-    soundness_.events_checked = picked.size();
-  }
-
-  CheckReport finish() {
-    CheckReport report;
-    report.trace_evicted = in_.trace_evicted;
-    report.contracts = {std::move(hb_),          std::move(lamport_),
-                        std::move(vector_),      std::move(strobe_scalar_),
-                        std::move(strobe_vector_), std::move(soundness_),
-                        std::move(epsilon_),     std::move(drift_)};
-    std::size_t violations = 0;
-    for (const auto& c : report.contracts) violations += c.violations_total;
-    if (violations > 0) {
-      report.verdict = Verdict::kViolations;
-    } else if (in_.trace_evicted > 0) {
-      report.verdict = Verdict::kPartialWindow;
-    } else {
-      report.verdict = Verdict::kClean;
-    }
-    return report;
-  }
-
-  const RunInputs& in_;
-  const CheckOptions& opt_;
-  std::vector<OracleState> states_;
-  std::unordered_map<std::uint64_t, SentComputation> comp_sent_;
-  std::unordered_map<std::uint64_t, SentStrobe> strobe_sent_;
-  std::vector<SenseSample> senses_;
-  ContractResult hb_, lamport_, vector_, strobe_scalar_, strobe_vector_,
-      soundness_, epsilon_, drift_;
-};
-
-}  // namespace
-
+// The batch checker is now a thin loop over the incremental StreamChecker
+// (stream_checker.cpp holds the actual oracle replay). With unbounded
+// send_retention the streaming replay retains exactly the state the old
+// one-shot Replay did, so batch reports are byte-identical by construction
+// — the equivalence test pins this.
 CheckReport check_run(const RunInputs& inputs, const CheckOptions& options) {
   if (inputs.num_processes == 0) {
     throw ConfigError("psn::check: num_processes must be >= 1");
@@ -497,15 +103,38 @@ CheckReport check_run(const RunInputs& inputs, const CheckOptions& options) {
         std::to_string(inputs.num_processes) + ")");
   }
   if (inputs.trace_evicted > 0 && !options.allow_partial_window) {
-    throw ConfigError(
+    throw TraceWindowError(
         "psn::check: trace ring evicted " +
         std::to_string(inputs.trace_evicted) +
         " record(s); the happens-before oracle needs the complete window. "
-        "Raise trace_capacity, or set allow_partial_window for a "
-        "partial-window verdict.");
+        "Raise trace_capacity, set allow_partial_window for a "
+        "partial-window verdict, or stream records through "
+        "check::StreamChecker (psn_cli serve), which needs no ring.");
   }
-  Replay replay(inputs, options);
-  return replay.run();
+
+  StreamCheckerConfig cfg;
+  cfg.num_processes = inputs.num_processes;
+  cfg.sync_epsilon = inputs.sync_epsilon;
+  cfg.drifting = inputs.drifting;
+  cfg.options = options;
+  cfg.executions = &inputs.executions;
+  cfg.trace_evicted = inputs.trace_evicted;
+  StreamChecker checker(cfg);
+
+  if (inputs.trace_evicted > 0) {
+    // Window-independent contracts only: per-event physical bounds and the
+    // program-order half of the Lamport condition. Message edges, vector
+    // equality, and the strobe replays all need the complete trace window.
+    checker.skip_windowed_contracts();
+    for (ProcessId p = 0; p < inputs.num_processes; ++p) {
+      for (const core::ProcessEvent& e : inputs.executions[p]) {
+        checker.feed_execution_only(p, e);
+      }
+    }
+  } else {
+    for (const sim::TraceRecord& r : inputs.trace) checker.feed(r);
+  }
+  return checker.finish();
 }
 
 RunInputs inputs_from(const core::PervasiveSystem& system) {

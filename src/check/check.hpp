@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "clocks/physical.hpp"
+#include "common/error.hpp"
 #include "common/sim_time.hpp"
 #include "common/types.hpp"
 #include "core/event.hpp"
+#include "core/observation.hpp"
 #include "sim/trace.hpp"
 
 namespace psn::core {
@@ -48,6 +50,7 @@ enum class ViolationKind : std::uint8_t {
   kDriftBound,            ///< local clock outside its drift envelope
   kUnexplainedFalsePositive,  ///< detector FP with no Δ/2ε race to blame
   kUnexplainedFalseNegative,  ///< detector FN with no Δ/2ε race to blame
+  kStaleObservation,  ///< observation delivered after its validity horizon
 };
 
 const char* to_string(ViolationKind k);
@@ -107,9 +110,24 @@ struct CheckOptions {
   /// this, a deterministic stride-sample of this size is scanned instead.
   std::size_t max_pairwise_events = 1500;
   /// A trace ring that evicted records cannot support the HB oracle. By
-  /// default the checker refuses (throws ConfigError); set this to downgrade
-  /// to a partial-window verdict that runs window-independent contracts only.
+  /// default the checker refuses (throws TraceWindowError); set this to
+  /// downgrade to a partial-window verdict that runs window-independent
+  /// contracts only.
   bool allow_partial_window = false;
+  /// Temporal-validity policy for observations: a strobe delivered more than
+  /// this after its sense violates the Kopetz-Steiner validity interval
+  /// (kStaleObservation under the "validity-horizon" contract). Unbounded by
+  /// default, which keeps the report shape byte-identical to the original.
+  core::ValidityHorizon validity_horizon;
+};
+
+/// Thrown when the trace ring evicted records and the options forbid the
+/// partial-window downgrade. A distinct type so callers (psn_cli) can exit
+/// with a dedicated status and a concrete remedy — raise the ring capacity,
+/// or switch to the streaming checker, which needs no retained window.
+class TraceWindowError : public ConfigError {
+ public:
+  explicit TraceWindowError(const std::string& what) : ConfigError(what) {}
 };
 
 /// Everything the checker needs from one finished run. Synthesize (and

@@ -1,0 +1,526 @@
+#include "check/stream_checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/message.hpp"
+
+namespace psn::check {
+
+namespace {
+
+constexpr int kStrobeKind = static_cast<int>(net::MessageKind::kStrobe);
+constexpr int kComputationKind =
+    static_cast<int>(net::MessageKind::kComputation);
+
+}  // namespace
+
+StreamChecker::StreamChecker(const StreamCheckerConfig& config)
+    : cfg_(config), executions_(config.executions) {
+  if (bound()) {
+    PSN_CHECK(executions_->size() == cfg_.num_processes,
+              "StreamChecker: executions must have one entry per process");
+  }
+  states_.resize(cfg_.num_processes);
+  for (auto& s : states_) {
+    s.causal_vc = clocks::VectorStamp(cfg_.num_processes);
+    s.strobe_vc = clocks::VectorStamp(cfg_.num_processes);
+  }
+  hb_.contract = "hb-graph";
+  lamport_.contract = "lamport";
+  vector_.contract = "vector";
+  strobe_scalar_.contract = "strobe-scalar";
+  strobe_vector_.contract = "strobe-vector";
+  soundness_.contract = "strobe-soundness";
+  epsilon_.contract = "physical-epsilon";
+  drift_.contract = "physical-drift";
+  validity_.contract = "validity-horizon";
+}
+
+void StreamChecker::add(ContractResult& c, CheckViolation v) {
+  c.violations_total++;
+  if (in_feed_ && !feed_violation_.has_value()) feed_violation_ = v;
+  if (c.violations.size() < cfg_.options.max_recorded_violations) {
+    c.violations.push_back(std::move(v));
+  }
+}
+
+std::size_t StreamChecker::violations_so_far() const {
+  std::size_t n = 0;
+  for (const ContractResult* c :
+       {&hb_, &lamport_, &vector_, &strobe_scalar_, &strobe_vector_,
+        &soundness_, &epsilon_, &drift_, &validity_}) {
+    n += c->violations_total;
+  }
+  return n;
+}
+
+std::optional<CheckViolation> StreamChecker::feed(
+    const sim::TraceRecord& record) {
+  records_fed_++;
+  feed_violation_.reset();
+  in_feed_ = true;
+  // kDetect records are appended out-of-band (batch traces rewind their
+  // timestamps to the causing sense), so they neither advance the eviction
+  // clock nor participate in matching.
+  if (record.kind != sim::TraceKind::kDetect) evict_expired(record.at);
+
+  if (bound()) {
+    switch (record.kind) {
+      case sim::TraceKind::kSense:
+        consume_target(record.pid, core::EventType::kSense, record.seq,
+                       record);
+        break;
+      case sim::TraceKind::kSend:
+        if (record.message_kind == kComputationKind) {
+          consume_target(record.pid, core::EventType::kSend, record.seq,
+                         record);
+        }
+        break;
+      case sim::TraceKind::kReceive:
+        if (record.message_kind == kComputationKind) {
+          consume_target(record.pid, core::EventType::kReceive, record.seq,
+                         record);
+        }
+        break;
+      case sim::TraceKind::kDeliver:
+        if (record.message_kind == kStrobeKind) on_strobe_delivery(record);
+        break;
+      case sim::TraceKind::kDrop:
+      case sim::TraceKind::kUnreachable:
+      case sim::TraceKind::kDetect:
+        break;
+    }
+  } else {
+    // Trace-only mode: no claimed executions to replay clocks against, so
+    // only the structural send/receive + sense/deliver matching and the
+    // temporal-validity contract run. This is the soak server's mode — the
+    // wire carries trace records, never per-process clock claims.
+    const bool pid_known =
+        cfg_.num_processes == 0 || record.pid < cfg_.num_processes;
+    switch (record.kind) {
+      case sim::TraceKind::kSense:
+        hb_.events_checked++;
+        if (!pid_known) {
+          add(hb_, {ViolationKind::kUnmatchedSend, record.pid, 0, record.seq,
+                    record.at, "trace names pid out of range"});
+          break;
+        }
+        if (record.seq != 0) {
+          strobe_sent_[record.seq] =
+              SentStrobe{0, clocks::VectorStamp(), record.at};
+          if (cfg_.send_retention != Duration::max()) {
+            pending_order_.push_back({record.at, record.seq, true});
+          }
+        }
+        break;
+      case sim::TraceKind::kSend:
+        hb_.events_checked++;
+        if (!pid_known) {
+          add(hb_, {ViolationKind::kUnmatchedSend, record.pid, 0, record.seq,
+                    record.at, "trace names pid out of range"});
+          break;
+        }
+        if (record.message_kind == kComputationKind && record.seq != 0) {
+          comp_sent_[record.seq] =
+              SentComputation{clocks::VectorStamp(), 0, record.at};
+          if (cfg_.send_retention != Duration::max()) {
+            pending_order_.push_back({record.at, record.seq, false});
+          }
+        }
+        break;
+      case sim::TraceKind::kReceive:
+        if (record.message_kind == kComputationKind) {
+          hb_.events_checked++;
+          const auto it = comp_sent_.find(record.seq);
+          if (record.seq == 0 || it == comp_sent_.end()) {
+            add(hb_, {ViolationKind::kUnmatchedReceive, record.pid, 0,
+                      record.seq, record.at,
+                      "receive record has no matching send (dropped "
+                      "send->receive edge)"});
+          } else {
+            // Unicast: matched once, evict immediately — this is what keeps
+            // the working set proportional to traffic in flight.
+            comp_sent_.erase(it);
+          }
+        }
+        break;
+      case sim::TraceKind::kDeliver:
+        if (record.message_kind == kStrobeKind) {
+          hb_.events_checked++;
+          const auto it = strobe_sent_.find(record.seq);
+          if (record.seq == 0 || it == strobe_sent_.end()) {
+            add(hb_,
+                {ViolationKind::kUnmatchedDeliver, record.pid, 0, record.seq,
+                 record.at, "strobe delivery from an unknown sense broadcast"});
+          } else {
+            // Broadcast copies share the seq, so the entry stays until the
+            // retention window passes it.
+            check_validity(record, it->second.sensed_at);
+          }
+        }
+        break;
+      case sim::TraceKind::kDrop:
+      case sim::TraceKind::kUnreachable:
+        // A dropped unicast computation message can never be received;
+        // release its entry now rather than waiting out the window.
+        if (record.message_kind == kComputationKind) {
+          comp_sent_.erase(record.seq);
+        }
+        break;
+      case sim::TraceKind::kDetect:
+        break;
+    }
+  }
+
+  in_feed_ = false;
+  return std::exchange(feed_violation_, std::nullopt);
+}
+
+void StreamChecker::feed_execution_only(ProcessId pid,
+                                        const core::ProcessEvent& event) {
+  check_physical(pid, event);
+  check_lamport_program_order(pid, event);
+  lamport_.events_checked++;
+}
+
+void StreamChecker::skip_windowed_contracts() {
+  partial_ = true;
+  for (ContractResult* c :
+       {&hb_, &vector_, &strobe_scalar_, &strobe_vector_, &soundness_}) {
+    c->checked = false;
+  }
+}
+
+/// Consumes execution events of `p` up to and including the one matching
+/// (type, seq). Intermediate events are consumed as catch-up: internal
+/// compute/actuate events are expected there; message-bearing events are
+/// not (their own trace records should have consumed them first) and are
+/// flagged kUntracedEvent. If no matching event remains, flags
+/// kUnmatchedSend/kUnmatchedReceive and consumes nothing.
+void StreamChecker::consume_target(ProcessId p, core::EventType type,
+                                   std::uint64_t seq,
+                                   const sim::TraceRecord& r) {
+  if (p >= cfg_.num_processes) {
+    add(hb_, {ViolationKind::kUnmatchedSend, p, 0, seq, r.at,
+              "trace names pid out of range"});
+    return;
+  }
+  const auto& events = (*executions_)[p];
+  std::size_t target = states_[p].cursor;
+  while (target < events.size() &&
+         !(events[target].type == type && events[target].message_seq == seq)) {
+    target++;
+  }
+  if (target == events.size()) {
+    const auto kind = type == core::EventType::kReceive
+                          ? ViolationKind::kUnmatchedReceive
+                          : ViolationKind::kUnmatchedSend;
+    add(hb_, {kind, p, 0, seq, r.at,
+              std::string("trace record has no matching ") +
+                  core::to_string(type) + " event in the execution"});
+    return;
+  }
+  while (states_[p].cursor < target) {
+    const core::ProcessEvent& e = events[states_[p].cursor];
+    if (e.type != core::EventType::kCompute &&
+        e.type != core::EventType::kActuate) {
+      add(hb_, {ViolationKind::kUntracedEvent, p, e.local_index,
+                e.message_seq, e.clocks.true_time,
+                std::string(core::to_string(e.type)) +
+                    " event skipped by the trace (record missing?)"});
+    }
+    consume_one(p, /*synced_with_trace=*/false);
+  }
+  consume_one(p, /*synced_with_trace=*/true);
+}
+
+/// Processes one execution event of `p` against every oracle.
+/// `synced_with_trace` is true when this event is being consumed by its
+/// own trace record, i.e. the strobe oracle state is exactly current —
+/// only then are the strobe clocks compared (catch-up consumption has
+/// ambiguous ordering against strobe deliveries).
+void StreamChecker::consume_one(ProcessId p, bool synced_with_trace) {
+  OracleState& s = states_[p];
+  const core::ProcessEvent& e = (*executions_)[p][s.cursor++];
+  check_physical(p, e);
+  check_lamport_program_order(p, e);
+  lamport_.events_checked++;
+
+  switch (e.type) {
+    case core::EventType::kReceive: {
+      const auto it = comp_sent_.find(e.message_seq);
+      if (e.message_seq == 0 || it == comp_sent_.end()) {
+        add(hb_, {ViolationKind::kUnmatchedReceive, p, e.local_index,
+                  e.message_seq, e.clocks.true_time,
+                  "receive event has no matching send (dropped "
+                  "send->receive edge)"});
+        // Resync the oracle to the claimed stamps so one severed edge does
+        // not cascade into mismatch reports for every later event.
+        if (e.clocks.causal_vector.size() == s.causal_vc.size()) {
+          s.causal_vc = e.clocks.causal_vector;
+        }
+        s.lamport_floor = e.clocks.lamport.value;
+        return;
+      }
+      // VC3: merge the sender's oracle stamp, then tick own component.
+      s.causal_vc.merge(it->second.oracle_vc);
+      if (p < s.causal_vc.size()) s.causal_vc[p]++;
+      // Lamport message edge: C(receive) must exceed C(send).
+      if (e.clocks.lamport.value <= it->second.claimed_lamport) {
+        add(lamport_,
+            {ViolationKind::kLamportOrder, p, e.local_index, e.message_seq,
+             e.clocks.true_time,
+             "C(receive)=" + std::to_string(e.clocks.lamport.value) +
+                 " not greater than C(send)=" +
+                 std::to_string(it->second.claimed_lamport)});
+      }
+      // Unicast: matched, so the entry can go — but only under a finite
+      // retention window. Batch mode (unbounded) keeps every entry so its
+      // reports stay byte-identical to the original one-shot checker, even
+      // on adversarial inputs that receive the same seq twice.
+      if (cfg_.send_retention != Duration::max()) comp_sent_.erase(it);
+      break;
+    }
+    case core::EventType::kSend:
+      if (p < s.causal_vc.size()) s.causal_vc[p]++;  // VC2
+      if (e.message_seq != 0) {
+        comp_sent_[e.message_seq] = SentComputation{
+            s.causal_vc, e.clocks.lamport.value, e.clocks.true_time};
+        if (cfg_.send_retention != Duration::max()) {
+          pending_order_.push_back(
+              {e.clocks.true_time, e.message_seq, false});
+        }
+      }
+      break;
+    case core::EventType::kSense: {
+      if (p < s.causal_vc.size()) s.causal_vc[p]++;  // VC1
+      // SSC1/SVC1: tick the strobe oracles and remember the broadcast.
+      s.strobe_scalar++;
+      if (p < s.strobe_vc.size()) s.strobe_vc[p]++;
+      if (e.message_seq != 0) {
+        strobe_sent_[e.message_seq] =
+            SentStrobe{s.strobe_scalar, s.strobe_vc, e.clocks.true_time};
+        if (cfg_.send_retention != Duration::max()) {
+          pending_order_.push_back(
+              {e.clocks.true_time, e.message_seq, true});
+        }
+      }
+      if (synced_with_trace) {
+        strobe_scalar_.events_checked++;
+        if (e.clocks.strobe_scalar.value != s.strobe_scalar) {
+          add(strobe_scalar_,
+              {ViolationKind::kStrobeScalarMismatch, p, e.local_index,
+               e.message_seq, e.clocks.true_time,
+               "claimed " + std::to_string(e.clocks.strobe_scalar.value) +
+                   " != SSC replay " + std::to_string(s.strobe_scalar)});
+        }
+        strobe_vector_.events_checked++;
+        if (e.clocks.strobe_vector != s.strobe_vc) {
+          add(strobe_vector_,
+              {ViolationKind::kStrobeVectorMismatch, p, e.local_index,
+               e.message_seq, e.clocks.true_time,
+               "claimed " + e.clocks.strobe_vector.to_string() +
+                   " != SVC replay " + s.strobe_vc.to_string()});
+        }
+      }
+      senses_.push_back(
+          {e.clocks.true_time, p, e.local_index, e.clocks.strobe_vector});
+      break;
+    }
+    case core::EventType::kCompute:
+    case core::EventType::kActuate:
+      if (p < s.causal_vc.size()) s.causal_vc[p]++;  // VC1
+      break;
+  }
+
+  vector_.events_checked++;
+  if (e.clocks.causal_vector != s.causal_vc) {
+    add(vector_, {ViolationKind::kVectorMismatch, p, e.local_index,
+                  e.message_seq, e.clocks.true_time,
+                  "claimed " + e.clocks.causal_vector.to_string() +
+                      " != oracle " + s.causal_vc.to_string()});
+  }
+}
+
+void StreamChecker::on_strobe_delivery(const sim::TraceRecord& r) {
+  if (r.pid >= cfg_.num_processes) return;
+  const auto it = strobe_sent_.find(r.seq);
+  if (r.seq == 0 || it == strobe_sent_.end()) {
+    add(hb_, {ViolationKind::kUnmatchedDeliver, r.pid, 0, r.seq, r.at,
+              "strobe delivery from an unknown sense broadcast"});
+    return;
+  }
+  check_validity(r, it->second.sensed_at);
+  // SSC2/SVC2: merge, no tick.
+  OracleState& s = states_[r.pid];
+  s.strobe_scalar = std::max(s.strobe_scalar, it->second.scalar);
+  s.strobe_vc.merge(it->second.vector);
+}
+
+/// Lamport program-order edge: C strictly increases at every local event
+/// (all five event types tick).
+void StreamChecker::check_lamport_program_order(ProcessId p,
+                                                const core::ProcessEvent& e) {
+  OracleState& s = states_[p];
+  if (e.clocks.lamport.value <= s.lamport_floor) {
+    add(lamport_, {ViolationKind::kLamportOrder, p, e.local_index,
+                   e.message_seq, e.clocks.true_time,
+                   "C=" + std::to_string(e.clocks.lamport.value) +
+                       " not greater than predecessor C=" +
+                       std::to_string(s.lamport_floor)});
+  }
+  s.lamport_floor = e.clocks.lamport.value;
+}
+
+void StreamChecker::check_physical(ProcessId p, const core::ProcessEvent& e) {
+  epsilon_.events_checked++;
+  const Duration synced_err =
+      (e.clocks.physical_synced - e.clocks.true_time).abs();
+  if (synced_err > cfg_.sync_epsilon) {
+    add(epsilon_,
+        {ViolationKind::kEpsilonBound, p, e.local_index, 0,
+         e.clocks.true_time,
+         "|synced - true| = " + std::to_string(synced_err.to_seconds()) +
+             "s exceeds epsilon = " +
+             std::to_string(cfg_.sync_epsilon.to_seconds()) + "s"});
+  }
+  drift_.events_checked++;
+  const Duration local_err =
+      (e.clocks.physical_local - e.clocks.true_time).abs();
+  const Duration envelope =
+      cfg_.drifting.initial_offset.abs() + cfg_.drifting.read_jitter.abs() +
+      Duration::from_seconds(std::abs(cfg_.drifting.drift_ppm) * 1e-6 *
+                             e.clocks.true_time.to_seconds()) +
+      Duration::nanos(1);  // rounding slack on the ppm term
+  if (local_err > envelope) {
+    add(drift_,
+        {ViolationKind::kDriftBound, p, e.local_index, 0,
+         e.clocks.true_time,
+         "|local - true| = " + std::to_string(local_err.to_seconds()) +
+             "s outside the drift envelope " +
+             std::to_string(envelope.to_seconds()) + "s"});
+  }
+}
+
+/// Kopetz-Steiner temporal validity: a strobe delivered after its
+/// observation's horizon expired must not feed predicate evaluation.
+void StreamChecker::check_validity(const sim::TraceRecord& r,
+                                   SimTime sensed_at) {
+  if (!cfg_.options.validity_horizon.bounded()) return;
+  validity_.events_checked++;
+  if (cfg_.options.validity_horizon.expired(sensed_at, r.at)) {
+    add(validity_,
+        {ViolationKind::kStaleObservation, r.pid, 0, r.seq, r.at,
+         "observation sensed at " + std::to_string(sensed_at.to_seconds()) +
+             "s delivered at " + std::to_string(r.at.to_seconds()) +
+             "s, past its validity horizon of " +
+             std::to_string(
+                 cfg_.options.validity_horizon.lifetime.to_seconds()) +
+             "s"});
+  }
+}
+
+void StreamChecker::evict_expired(SimTime now) {
+  if (cfg_.send_retention == Duration::max()) return;
+  while (!pending_order_.empty() &&
+         pending_order_.front().at + cfg_.send_retention < now) {
+    const PendingEntry entry = pending_order_.front();
+    pending_order_.pop_front();
+    // Matched entries were already erased from the map; this is the lazy
+    // skip for them and the actual eviction for expired ones.
+    if (entry.strobe) {
+      strobe_sent_.erase(entry.seq);
+    } else {
+      comp_sent_.erase(entry.seq);
+    }
+  }
+}
+
+/// Strobe partial-order soundness: stamps can only order sense events the
+/// way true time did — strobe information travels forward in time, so
+/// V(a) < V(b) with true(b) < true(a) is impossible in a correct run.
+void StreamChecker::scan_soundness() {
+  std::vector<const SenseSample*> picked;
+  picked.reserve(std::min(senses_.size(), cfg_.options.max_pairwise_events));
+  if (senses_.size() <= cfg_.options.max_pairwise_events) {
+    for (const auto& s : senses_) picked.push_back(&s);
+  } else {
+    const std::size_t stride =
+        (senses_.size() + cfg_.options.max_pairwise_events - 1) /
+        cfg_.options.max_pairwise_events;
+    for (std::size_t i = 0; i < senses_.size(); i += stride) {
+      picked.push_back(&senses_[i]);
+    }
+  }
+  std::sort(picked.begin(), picked.end(),
+            [](const SenseSample* a, const SenseSample* b) {
+              return a->at < b->at;
+            });
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    for (std::size_t j = i + 1; j < picked.size(); ++j) {
+      if (picked[i]->at == picked[j]->at) continue;  // ties claim nothing
+      if (picked[i]->strobe.size() != picked[j]->strobe.size()) continue;
+      soundness_.pairs_checked++;
+      if (clocks::happens_before(picked[j]->strobe, picked[i]->strobe)) {
+        add(soundness_,
+            {ViolationKind::kStrobeUnsoundOrder, picked[j]->pid,
+             picked[j]->local_index, 0, picked[j]->at,
+             "sense at " + std::to_string(picked[j]->at.to_seconds()) +
+                 "s strobe-ordered before sense at " +
+                 std::to_string(picked[i]->at.to_seconds()) + "s (pid " +
+                 std::to_string(picked[i]->pid) + ")"});
+      }
+    }
+  }
+  soundness_.events_checked = picked.size();
+}
+
+CheckReport StreamChecker::finish() {
+  if (bound() && !partial_) {
+    // Drain events past the last trace record (trailing compute/actuate
+    // events; anything message-bearing left here was never traced).
+    for (ProcessId p = 0; p < cfg_.num_processes; ++p) {
+      while (states_[p].cursor < (*executions_)[p].size()) {
+        const core::ProcessEvent& e = (*executions_)[p][states_[p].cursor];
+        if (e.type != core::EventType::kCompute &&
+            e.type != core::EventType::kActuate) {
+          add(hb_, {ViolationKind::kUntracedEvent, p, e.local_index,
+                    e.message_seq, e.clocks.true_time,
+                    std::string(core::to_string(e.type)) +
+                        " event never appeared in the trace"});
+        }
+        consume_one(p, /*synced_with_trace=*/false);
+      }
+    }
+  }
+  if (!partial_) scan_soundness();
+
+  CheckReport report;
+  report.trace_evicted = cfg_.trace_evicted;
+  report.contracts = {std::move(hb_),            std::move(lamport_),
+                      std::move(vector_),        std::move(strobe_scalar_),
+                      std::move(strobe_vector_), std::move(soundness_),
+                      std::move(epsilon_),       std::move(drift_)};
+  // The validity contract only joins the report when a horizon is actually
+  // configured — the default report stays byte-identical to the original
+  // eight-contract form the golden tests pin.
+  if (cfg_.options.validity_horizon.bounded()) {
+    report.contracts.push_back(std::move(validity_));
+  }
+  std::size_t violations = 0;
+  for (const auto& c : report.contracts) violations += c.violations_total;
+  if (violations > 0) {
+    report.verdict = Verdict::kViolations;
+  } else if (cfg_.trace_evicted > 0) {
+    report.verdict = Verdict::kPartialWindow;
+  } else {
+    report.verdict = Verdict::kClean;
+  }
+  return report;
+}
+
+}  // namespace psn::check

@@ -142,6 +142,10 @@ struct IncrementalStrobeVectorDetector::Impl {
   /// Interned index → freshest accepted vector stamp (dense; nullopt until
   /// the variable's first accepted update).
   std::vector<std::optional<clocks::VectorStamp>> latest;
+  /// Interned index → instant the retained observation expires (temporal
+  /// validity; SimTime::max() while unbounded or not yet reported).
+  std::vector<SimTime> expires;
+  std::size_t stale_observations = 0;
   /// Cached predicate read-set by interned index, plus the state size it was
   /// computed against. collect_vars expands aggregates against the tracked
   /// state, so the set can only change when the state's variable universe
@@ -187,11 +191,18 @@ const Predicate& IncrementalStrobeVectorDetector::predicate() const {
   return impl_->predicate;
 }
 
+std::size_t IncrementalStrobeVectorDetector::stale_observations() const {
+  return impl_->stale_observations;
+}
+
 std::optional<Detection> IncrementalStrobeVectorDetector::feed(
     const ReceivedUpdate& u, std::size_t index) {
   Impl& impl = *impl_;
   const std::uint32_t var = impl.interner.intern(u.reporter, u.report.attribute);
-  if (var >= impl.latest.size()) impl.latest.resize(impl.interner.size());
+  if (var >= impl.latest.size()) {
+    impl.latest.resize(impl.interner.size());
+    impl.expires.resize(impl.interner.size(), SimTime::max());
+  }
   const clocks::VectorStamp& stamp = u.report.strobe_vector;
 
   if (impl.latest[var].has_value()) {
@@ -219,10 +230,32 @@ std::optional<Detection> IncrementalStrobeVectorDetector::feed(
     }
   }
 
+  // Temporal validity (Kopetz-Steiner): an evaluation is stale when this
+  // update's own validity interval lapsed before it arrived, or when any
+  // read-set variable the predicate will consult holds an expired
+  // observation at the evaluation instant. Staleness is judged against the
+  // deployment-visible ε-synchronized timestamp, never ground truth.
+  bool stale =
+      u.validity.expired(u.report.synced_timestamp, u.delivered_at);
+  if (u.validity.bounded() && !stale) {
+    for (std::uint32_t other = 0; other < impl.latest.size(); ++other) {
+      if (other == var || !impl.latest[other].has_value()) continue;
+      if (other >= impl.in_read_set.size() || impl.in_read_set[other] == 0) {
+        continue;
+      }
+      if (u.delivered_at > impl.expires[other]) {
+        stale = true;
+        break;
+      }
+    }
+  }
+  if (stale) impl.stale_observations++;
+
   impl.latest[var] = stamp;
+  impl.expires[var] = u.validity.expires_at(u.report.synced_timestamp);
   impl.tracker.state().set(impl.interner.var(var), u.report.value.numeric());
   std::vector<Detection> out;
-  impl.tracker.evaluate(u, index, race, out);
+  impl.tracker.evaluate(u, index, race || stale, out);
   if (out.empty()) return std::nullopt;
   return out.front();
 }

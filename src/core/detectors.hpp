@@ -102,6 +102,14 @@ class IncrementalStrobeVectorDetector {
   bool holding() const;
   const Predicate& predicate() const;
 
+  /// Feeds whose evaluation involved temporally expired state (the update's
+  /// own validity interval had lapsed before delivery, or a retained
+  /// read-set variable's had lapsed by the evaluation instant — Kopetz-
+  /// Steiner temporal validity). Such evaluations are flagged `borderline`
+  /// in the emitted Detection: acting on expired state must be visible.
+  /// Always 0 under the default unbounded ValidityHorizon.
+  std::size_t stale_observations() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

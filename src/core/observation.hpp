@@ -9,6 +9,26 @@
 
 namespace psn::core {
 
+/// Temporal validity interval of an observation (Kopetz & Steiner: data about
+/// a dynamic environment is only *temporally consistent* for a bounded
+/// lifetime after it was produced). An observation timestamped t — by the
+/// deployment-visible ε-synchronized clock, never by ground truth — is valid
+/// until t + lifetime; a monitor that evaluates φ over state older than that
+/// is acting on expired data and must flag it (kStaleObservation).
+struct ValidityHorizon {
+  Duration lifetime = Duration::max();  ///< max() = observations never expire
+
+  bool bounded() const { return lifetime != Duration::max(); }
+  /// Instant the observation expires (saturating; max() when unbounded).
+  SimTime expires_at(SimTime produced) const {
+    if (!bounded()) return SimTime::max();
+    return produced + lifetime;
+  }
+  bool expired(SimTime produced, SimTime now) const {
+    return bounded() && now > expires_at(produced);
+  }
+};
+
 /// One sense report as it arrived at the root monitor P_0 — the raw input of
 /// every online detector. Delivery order (not sense order!) is the order a
 /// real root would see; the difference between the two *is* the race problem
@@ -17,6 +37,9 @@ struct ReceivedUpdate {
   SimTime delivered_at;
   ProcessId reporter = kNoProcess;
   net::SenseReportPayload report;
+  /// Validity policy this update was received under (copied from the log's
+  /// policy at append time so per-update overrides remain possible).
+  ValidityHorizon validity;
 };
 
 /// Everything the root observed during one run, in delivery order, plus the
@@ -26,6 +49,8 @@ struct ObservationLog {
   /// The transport's delay bound Δ (Duration::max() if unbounded); detectors
   /// may use it — the paper's Δ-bounded model makes it known (§3.2.2.b).
   Duration delta_bound = Duration::max();
+  /// Deployment-wide temporal-validity policy stamped onto every update.
+  ValidityHorizon validity;
   std::vector<ReceivedUpdate> updates;
 };
 

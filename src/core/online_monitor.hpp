@@ -68,6 +68,8 @@ class OnlineMonitor {
   std::vector<ActuationRule> rules_;
   std::vector<Detection> detections_;
   std::vector<ActuationRecord> actuations_;
+  /// Stale evaluations already pushed into the metrics registry.
+  std::size_t stale_reported_ = 0;
 };
 
 }  // namespace psn::core

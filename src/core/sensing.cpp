@@ -55,10 +55,12 @@ void SensorNode::record_event(EventType type, std::optional<VarRef> var,
   events_.push_back(std::move(ev));
 }
 
-void SensorNode::enable_observation_log(std::size_t n, Duration delta_bound) {
+void SensorNode::enable_observation_log(std::size_t n, Duration delta_bound,
+                                        ValidityHorizon validity) {
   observing_ = true;
   local_log_.num_processes = n;
   local_log_.delta_bound = delta_bound;
+  local_log_.validity = validity;
 }
 
 void SensorNode::sense(const world::WorldEvent& ev) {
@@ -86,6 +88,7 @@ void SensorNode::sense(const world::WorldEvent& ev) {
     u.delivered_at = now;
     u.reporter = pid_;
     u.report = payload;
+    u.validity = local_log_.validity;
     local_log_.updates.push_back(std::move(u));
   }
   msg.payload = std::move(payload);
@@ -141,6 +144,7 @@ void SensorNode::on_message(const net::Message& msg) {
         u.delivered_at = sim_.now();
         u.reporter = msg.src;
         u.report = report;
+        u.validity = local_log_.validity;
         local_log_.updates.push_back(std::move(u));
       }
       break;
@@ -184,6 +188,7 @@ void RootMonitor::on_message(const net::Message& msg) {
   u.delivered_at = sim_.now();
   u.reporter = msg.src;
   u.report = report;
+  u.validity = log_.validity;
   log_.updates.push_back(std::move(u));
   const std::size_t index = log_.updates.size() - 1;
   for (const auto& observer : observers_) {

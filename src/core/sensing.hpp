@@ -75,7 +75,8 @@ class SensorNode {
   /// events) into a local ObservationLog, so it can act as an additional
   /// observer for consensus detection (core/consensus). Off by default —
   /// it costs memory per strobe.
-  void enable_observation_log(std::size_t n, Duration delta_bound);
+  void enable_observation_log(std::size_t n, Duration delta_bound,
+                              ValidityHorizon validity = {});
   bool observation_log_enabled() const { return observing_; }
   const ObservationLog& observation_log() const { return local_log_; }
 

@@ -117,8 +117,10 @@ PervasiveSystem::PervasiveSystem(SystemConfig config)
     sensor(pid).sense(ev);
   });
 
-  // The root's ObservationLog advertises the end-to-end Δ bound.
+  // The root's ObservationLog advertises the end-to-end Δ bound and the
+  // deployment's temporal-validity policy.
   root_->log().delta_bound = delta_bound();
+  root_->log().validity = config_.validity_horizon;
 }
 
 void PervasiveSystem::assign(world::ObjectId object,

@@ -49,6 +49,11 @@ struct SystemConfig {
   /// Synchronized duty cycles (all sensors share a phase) versus the
   /// unsynchronized baseline (per-node random phases).
   bool duty_phases_aligned = true;
+
+  /// Temporal-validity policy stamped onto every received observation
+  /// (Kopetz-Steiner validity intervals). Default: observations never
+  /// expire, which reproduces the paper's original semantics exactly.
+  ValidityHorizon validity_horizon;
 };
 
 /// The assembled system: world plane ⟨O, C⟩, network plane ⟨P, L⟩ with the

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hpp"
+
+/// psn::serve — the streaming ingest layer (DESIGN.md §12). The JSONL trace
+/// schema that analysis::trace_jsonl exports is the wire format: one flat
+/// JSON object per line, keys t/kind/pid/peer/msg/bytes/seq/note. A batch
+/// trace file piped into `psn_cli serve` therefore replays exactly, and a
+/// live producer only has to emit the same lines as they happen.
+namespace psn::serve {
+
+/// Outcome of parsing one wire line: either a record or a diagnostic.
+struct ParsedRecord {
+  sim::TraceRecord record;
+  std::string error;  ///< non-empty iff the line was rejected
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses one JSONL trace line. Strict by design — the soak server treats
+/// its stdin as a checked interface, not best-effort telemetry: unknown or
+/// duplicate keys, missing required keys (t, kind, pid), malformed JSON,
+/// negative times, or out-of-range enum names all reject the line with a
+/// specific diagnostic. Key order is free; `peer`, `msg`, `bytes`, `seq`,
+/// and `note` are optional exactly as the exporter omits them.
+ParsedRecord parse_trace_line(std::string_view line);
+
+/// Serializes one record back to the wire format, byte-identical to the
+/// line analysis::trace_jsonl would emit for it (round-trip pinned by
+/// test). No trailing newline.
+std::string trace_line(const sim::TraceRecord& record);
+
+}  // namespace psn::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/sweep.hpp"
+
 namespace psn::analysis {
 namespace {
 
@@ -97,11 +99,9 @@ TEST(OccupancyExperimentTest, RejectsInvalidConfig) {
   EXPECT_THROW(run_occupancy_experiment(bad), ConfigError);
 }
 
-// The deprecated shim stays exercised until its removal release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(ReplicationTest, SumsAcrossSeeds) {
-  auto agg = run_occupancy_replicated(small_config(10), 3);
+  const auto agg =
+      sweep(small_config(10)).replications(3).run().points.front().detectors;
   ASSERT_EQ(agg.size(), 4u);
   for (const auto& [name, outcome] : agg) {
     EXPECT_GT(outcome.score.oracle_occurrences, 0u) << name;
@@ -116,7 +116,6 @@ TEST(ReplicationTest, SumsAcrossSeeds) {
   }
   EXPECT_EQ(agg.at("strobe-vector").score.true_positives, tp_sum);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace psn::analysis

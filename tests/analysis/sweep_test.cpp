@@ -144,20 +144,5 @@ TEST(SweepValidationTest, ValidatedRejectsAtExperimentBoundary) {
   EXPECT_NO_THROW((void)Validated<OccupancyConfig>(small_base()));
 }
 
-TEST(SweepShimTest, DeprecatedReplicatedForwardsToSweep) {
-  // The one-release forwarding shim must agree with the engine it wraps.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto agg = run_occupancy_replicated(small_base(3), 2);
-#pragma GCC diagnostic pop
-  const auto result = sweep(small_base(3)).replications(2).run();
-  ASSERT_EQ(agg.size(), 4u);
-  for (const auto& [name, outcome] : agg) {
-    const auto& direct = result.points[0].at(name);
-    EXPECT_EQ(outcome.score.true_positives, direct.score.true_positives);
-    EXPECT_EQ(outcome.belief_accuracy.count(), direct.belief_accuracy.count());
-  }
-}
-
 }  // namespace
 }  // namespace psn::analysis

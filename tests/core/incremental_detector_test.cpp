@@ -93,6 +93,42 @@ TEST(IncrementalDetectorTest, MoveSemanticsPreserveState) {
   EXPECT_EQ(b.predicate().name(), "p");
 }
 
+TEST(IncrementalDetectorTest, ExpiredObservationsAreFlaggedStale) {
+  const auto phi = parse_predicate("p", "x[1] > 0 && x[2] > 0");
+  IncrementalStrobeVectorDetector det(phi);
+  ValidityHorizon horizon;
+  horizon.lifetime = Duration::millis(50);
+
+  ReceivedUpdate first = update(10, 1, "x", 1.0, {0, 1, 0});
+  first.validity = horizon;
+  first.report.synced_timestamp = t(9);
+  det.feed(first, 0);
+  EXPECT_EQ(det.stale_observations(), 0u);
+
+  // The second variable arrives 110 ms later: x[1]'s state expired at
+  // 59 ms, so this evaluation reads expired state — it must be counted
+  // stale and the resulting transition flagged borderline (the paper's
+  // err-on-the-safe-side policy applied to temporal validity).
+  ReceivedUpdate second = update(120, 2, "x", 1.0, {0, 1, 1});
+  second.validity = horizon;
+  second.report.synced_timestamp = t(119);
+  const auto d = det.feed(second, 1);
+  EXPECT_EQ(det.stale_observations(), 1u);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->to_true);
+  EXPECT_TRUE(d->borderline);
+}
+
+TEST(IncrementalDetectorTest, UnboundedHorizonNeverCountsStale) {
+  const auto phi = parse_predicate("p", "x[1] > 0 && x[2] > 0");
+  IncrementalStrobeVectorDetector det(phi);
+  // Default ReceivedUpdate::validity is unbounded: arbitrarily old state
+  // stays valid and nothing is flagged.
+  det.feed(update(10, 1, "x", 1.0, {0, 1, 0}), 0);
+  det.feed(update(100000, 2, "x", 1.0, {0, 1, 1}), 1);
+  EXPECT_EQ(det.stale_observations(), 0u);
+}
+
 TEST(IncrementalDetectorTest, RandomLogStreamBatchEquivalence) {
   // Property: for random logs, fold(feed) == batch, always.
   const auto phi = parse_predicate("p", "sum(x) > 5");

@@ -1,0 +1,190 @@
+// Soak-server tests: the JSONL wire parser must round-trip the batch
+// exporter's output exactly and reject malformed input with pointed
+// diagnostics; the ingest loop must verify a real run's trace clean, stop
+// on out-of-order input in strict mode, and keep going in lenient mode.
+
+#include "serve/soak_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "analysis/export.hpp"
+#include "net/message.hpp"
+#include "serve/trace_feed.hpp"
+
+namespace psn::serve {
+namespace {
+
+using namespace psn::time_literals;
+
+TEST(TraceFeedTest, RoundTripsTheBatchExporterByteForByte) {
+  sim::TraceRecord r;
+  r.at = SimTime::zero() + Duration::millis(1250);
+  r.kind = sim::TraceKind::kSend;
+  r.pid = 3;
+  r.peer = 0;
+  r.message_kind = static_cast<int>(net::MessageKind::kStrobe);
+  r.bytes = 57;
+  r.seq = 91;
+  r.note = "odd \"note\"\twith\nescapes";
+
+  const std::string line = trace_line(r);
+  EXPECT_EQ(line + "\n", analysis::trace_jsonl({r}));
+
+  const ParsedRecord parsed = parse_trace_line(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.record.at, r.at);
+  EXPECT_EQ(parsed.record.kind, r.kind);
+  EXPECT_EQ(parsed.record.pid, r.pid);
+  EXPECT_EQ(parsed.record.peer, r.peer);
+  EXPECT_EQ(parsed.record.message_kind, r.message_kind);
+  EXPECT_EQ(parsed.record.bytes, r.bytes);
+  EXPECT_EQ(parsed.record.seq, r.seq);
+  EXPECT_EQ(parsed.record.note, r.note);
+  // Re-serializing the parse must reproduce the wire line exactly.
+  EXPECT_EQ(trace_line(parsed.record), line);
+}
+
+TEST(TraceFeedTest, ParsesMinimalRecordAndAnyKeyOrder) {
+  const ParsedRecord minimal =
+      parse_trace_line("{\"t\":0.5,\"kind\":\"sense\",\"pid\":1}");
+  ASSERT_TRUE(minimal.ok()) << minimal.error;
+  EXPECT_EQ(minimal.record.kind, sim::TraceKind::kSense);
+  EXPECT_EQ(minimal.record.peer, kNoProcess);
+  EXPECT_EQ(minimal.record.message_kind, -1);
+
+  const ParsedRecord reordered = parse_trace_line(
+      "{\"seq\":9,\"pid\":2,\"kind\":\"deliver\",\"msg\":\"strobe\","
+      "\"t\":1.0}");
+  ASSERT_TRUE(reordered.ok()) << reordered.error;
+  EXPECT_EQ(reordered.record.seq, 9u);
+  EXPECT_EQ(reordered.record.message_kind,
+            static_cast<int>(net::MessageKind::kStrobe));
+}
+
+TEST(TraceFeedTest, RejectsGarbageWithSpecificDiagnostics) {
+  const struct {
+    const char* line;
+    const char* why;
+  } cases[] = {
+      {"", "expected '{'"},
+      {"not json at all", "expected '{'"},
+      {"{\"t\":1.0,\"pid\":1}", "missing required key \"kind\""},
+      {"{\"kind\":\"sense\",\"pid\":1}", "missing required key \"t\""},
+      {"{\"t\":1.0,\"kind\":\"sense\"}", "missing required key \"pid\""},
+      {"{\"t\":-2,\"kind\":\"sense\",\"pid\":1}", "non-negative"},
+      {"{\"t\":1.0,\"kind\":\"warp\",\"pid\":1}", "unknown trace kind"},
+      {"{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"zap\":3}", "unknown key"},
+      {"{\"t\":1.0,\"t\":2.0,\"kind\":\"sense\",\"pid\":1}", "duplicate"},
+      {"{\"t\":1.0,\"kind\":\"sense\",\"pid\":1}trailing", "trailing"},
+      {"{\"t\":1.0,\"kind\":\"sense\",\"pid\":\"x\"}", "process id"},
+      {"{\"t\":1.0,\"kind\":\"send\",\"pid\":1,\"msg\":\"carrier\"}",
+       "unknown message kind"},
+  };
+  for (const auto& c : cases) {
+    const ParsedRecord parsed = parse_trace_line(c.line);
+    EXPECT_FALSE(parsed.ok()) << c.line;
+    EXPECT_NE(parsed.error.find(c.why), std::string::npos)
+        << "line: " << c.line << " error: " << parsed.error;
+  }
+}
+
+TEST(SoakServerTest, VerifiesARealRunTraceClean) {
+  analysis::OccupancyConfig cfg;
+  cfg.doors = 3;
+  cfg.movement_rate = 10.0;
+  cfg.horizon = 20_s;
+  cfg.trace_capacity = std::size_t{1} << 18;
+  const analysis::OccupancyRunResult run =
+      analysis::run_occupancy_experiment(cfg);
+  ASSERT_EQ(run.trace_evicted, 0u);
+  ASSERT_FALSE(run.trace.empty());
+
+  std::istringstream in(analysis::trace_jsonl(run.trace));
+  std::ostringstream out;
+  SoakServerConfig server_cfg;
+  server_cfg.num_processes = cfg.doors + 1;
+  server_cfg.metrics_every = 1000;
+  SoakServer server(server_cfg, out);
+  const SoakReport report = server.run(in);
+
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_EQ(report.records_fed, run.trace.size());
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.malformed_lines, 0u);
+  EXPECT_EQ(report.out_of_order_lines, 0u);
+  EXPECT_GT(report.detect_records, 0u);
+  EXPECT_GT(report.peak_pending_sends, 0u);
+  // Output carries periodic metrics snapshots and a final verdict line.
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"event\":\"metrics\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"detect\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"eof\",\"verdict\":\"clean\""),
+            std::string::npos);
+}
+
+TEST(SoakServerTest, StrictModeStopsAtOutOfOrderInput) {
+  std::istringstream in(
+      "{\"t\":2.0,\"kind\":\"sense\",\"pid\":1,\"seq\":1}\n"
+      "{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"seq\":2}\n"
+      "{\"t\":3.0,\"kind\":\"sense\",\"pid\":1,\"seq\":3}\n");
+  std::ostringstream out;
+  SoakServer server(SoakServerConfig{}, out);
+  const SoakReport report = server.run(in);
+  EXPECT_EQ(report.exit_code, 3);
+  EXPECT_EQ(report.out_of_order_lines, 1u);
+  EXPECT_EQ(report.records_fed, 1u);  // stopped before the third line
+  EXPECT_NE(out.str().find("\"event\":\"reject\""), std::string::npos);
+  EXPECT_NE(out.str().find("rejected-input"), std::string::npos);
+}
+
+TEST(SoakServerTest, StrictModeStopsAtGarbage) {
+  std::istringstream in(
+      "{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"seq\":1}\n"
+      "garbage line\n"
+      "{\"t\":2.0,\"kind\":\"sense\",\"pid\":1,\"seq\":2}\n");
+  std::ostringstream out;
+  SoakServer server(SoakServerConfig{}, out);
+  const SoakReport report = server.run(in);
+  EXPECT_EQ(report.exit_code, 3);
+  EXPECT_EQ(report.malformed_lines, 1u);
+  EXPECT_EQ(report.records_fed, 1u);
+}
+
+TEST(SoakServerTest, LenientModeSkipsBadLinesAndFinishes) {
+  std::istringstream in(
+      "{\"t\":2.0,\"kind\":\"sense\",\"pid\":1,\"seq\":1}\n"
+      "garbage line\n"
+      "{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"seq\":2}\n"
+      "{\"t\":3.0,\"kind\":\"sense\",\"pid\":1,\"seq\":3}\n");
+  std::ostringstream out;
+  SoakServerConfig cfg;
+  cfg.lenient = true;
+  SoakServer server(cfg, out);
+  const SoakReport report = server.run(in);
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_EQ(report.malformed_lines, 1u);
+  EXPECT_EQ(report.out_of_order_lines, 1u);
+  EXPECT_EQ(report.records_fed, 2u);
+}
+
+TEST(SoakServerTest, FlagsStaleDeliveriesUnderAValidityHorizon) {
+  std::istringstream in(
+      "{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"seq\":1}\n"
+      "{\"t\":5.0,\"kind\":\"deliver\",\"pid\":0,\"msg\":\"strobe\","
+      "\"seq\":1}\n");
+  std::ostringstream out;
+  SoakServerConfig cfg;
+  cfg.validity_horizon.lifetime = Duration::seconds(1);
+  SoakServer server(cfg, out);
+  const SoakReport report = server.run(in);
+  EXPECT_EQ(report.exit_code, 1);
+  EXPECT_EQ(report.stale_observations, 1u);
+  EXPECT_NE(out.str().find("stale-observation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psn::serve
