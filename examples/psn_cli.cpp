@@ -4,8 +4,9 @@
 //                              scorecard (optionally CSV / metrics / trace)
 //   psn_cli check  [options]   one traced run through the causality &
 //                              clock-contract checker and the Δ-race audit
-//   psn_cli serve  [options]   soak server: verify a JSONL trace stream from
-//                              stdin incrementally, with bounded memory
+//   psn_cli serve  [options]   soak server: verify JSONL trace streams
+//                              incrementally with bounded memory — from
+//                              stdin, or many at once via --listen
 //
 // Shared scenario options (run / check):
 //     --scenario hall|office|hospital   (default hall)
@@ -25,9 +26,11 @@
 //            --trace-cap N
 // check-only: --trace-cap N
 // serve-only: --procs N --retention MS --metrics-every N --lenient
+//             --listen PORT|UNIX-PATH --max-streams N --max-buffer BYTES
 //
 // Exit codes: 0 ok · 1 violations · 2 usage/config error · 3 stream input
-// rejected (serve) · 4 trace ring truncated under check.
+// rejected (serve) · 4 trace ring truncated under check. Multi-stream serve
+// aggregates across sessions: 3 beats 1 beats 0.
 //
 // Examples:
 //   psn_cli run --scenario hall --doors 8 --delta 250 --reps 10
@@ -35,10 +38,12 @@
 //   psn_cli run --trace /tmp/run.jsonl       # sense/send/deliver/... log
 //   psn_cli check --mode scalar              # clock-contract replay, CI-style
 //   psn_cli run --trace /dev/stdout --trace-cap 200000 | psn_cli serve
+//   psn_cli serve --listen 7070 --max-streams 16   # socket soak server
 //
 // The pre-subcommand flat-flag form (psn_cli --check ...) still works as a
 // deprecated alias and prints a migration hint on stderr.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -50,6 +55,7 @@
 #include "analysis/sweep.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "serve/listener.hpp"
 #include "serve/soak_server.hpp"
 
 namespace {
@@ -105,9 +111,15 @@ void print_shared_usage() {
       "         and the Delta-race audit; exit 1 on violations, 4 if the\n"
       "         trace ring truncated\n"
       "         [--trace-cap N]\n"
-      "  serve  verify a JSONL trace stream from stdin incrementally\n"
+      "  serve  verify JSONL trace streams incrementally: stdin by\n"
+      "         default, or a multi-stream socket server via --listen\n"
+      "         (all-digit spec = TCP port on 127.0.0.1, 0 = ephemeral;\n"
+      "         anything else = unix socket path). SIGINT/SIGTERM drain\n"
+      "         every session and emit its eof verdict.\n"
       "         [--procs N] [--retention MS] [--validity MS]\n"
-      "         [--metrics-every N] [--lenient]\n\n");
+      "         [--metrics-every N] [--lenient]\n"
+      "         [--listen PORT|UNIX-PATH] [--max-streams N]\n"
+      "         [--max-buffer BYTES]\n\n");
   print_shared_usage();
   std::printf(
       "\nexit codes: 0 ok, 1 violations, 2 usage/config error,\n"
@@ -369,6 +381,9 @@ int cmd_check(const CliOptions& opt) {
 
 int cmd_serve(const std::vector<std::string>& args) {
   serve::SoakServerConfig cfg;
+  std::string listen;
+  std::size_t max_streams = 64;
+  std::size_t max_buffer = std::size_t{1} << 16;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag == "--help" || flag == "-h") print_usage_and_exit();
@@ -393,8 +408,40 @@ int cmd_serve(const std::vector<std::string>& args) {
           static_cast<std::size_t>(std::atoll(value().c_str()));
     } else if (flag == "--lenient") {
       cfg.lenient = true;
+    } else if (flag == "--listen") {
+      listen = value();
+      if (listen.empty()) usage_error("--listen needs a port or unix path");
+    } else if (flag == "--max-streams") {
+      const long long n = std::atoll(value().c_str());
+      if (n <= 0) usage_error("--max-streams must be > 0");
+      max_streams = static_cast<std::size_t>(n);
+    } else if (flag == "--max-buffer") {
+      const long long n = std::atoll(value().c_str());
+      if (n <= 0) usage_error("--max-buffer must be > 0 bytes");
+      max_buffer = static_cast<std::size_t>(n);
     } else {
       usage_error("unknown flag " + flag + " for serve");
+    }
+  }
+  if (!listen.empty()) {
+    serve::ListenerConfig listener_cfg;
+    listener_cfg.listen = listen;
+    listener_cfg.max_streams = max_streams;
+    listener_cfg.session = cfg;
+    listener_cfg.max_line_bytes = max_buffer;
+    try {
+      serve::Listener listener(listener_cfg, std::cout);
+      listener.open();
+      if (listener.port() != 0) {
+        std::fprintf(stderr, "psn_cli: serving on 127.0.0.1:%u\n",
+                     listener.port());
+      } else {
+        std::fprintf(stderr, "psn_cli: serving on %s\n", listen.c_str());
+      }
+      return listener.run();
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "psn_cli: %s\n", e.what());
+      return 2;
     }
   }
   serve::SoakServer server(cfg, std::cout);
@@ -405,6 +452,12 @@ int cmd_serve(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // A long-running `psn_cli serve` must survive its downstream consumer
+  // disconnecting (closed pipe, vanished socket peer): writes then fail
+  // with EPIPE and tear down the affected session, never the process.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   std::vector<std::string> args(argv + 1, argv + argc);
   if (!args.empty() && args[0] == "run") {
     args.erase(args.begin());

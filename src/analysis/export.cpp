@@ -1,5 +1,6 @@
 #include "analysis/export.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 
@@ -80,14 +81,33 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
+std::string format_chars(double v, std::chars_format fmt, int precision) {
+  // Fixed notation of the largest double needs ~310 digits plus the
+  // precision's fractional digits; 400 covers every caller.
+  char buf[400];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, fmt, precision);
+  PSN_CHECK(res.ec == std::errc(), "to_chars: buffer too small");
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string json_fixed(double v, int precision) {
+  return format_chars(v, std::chars_format::fixed, precision);
+}
+
+std::string json_general(double v, int precision) {
+  return format_chars(v, std::chars_format::general, precision);
+}
+
 std::string trace_jsonl(const std::vector<sim::TraceRecord>& records) {
   std::string out;
   out.reserve(records.size() * 80);
-  char buf[64];
   for (const sim::TraceRecord& r : records) {
     out += "{\"t\":";
-    std::snprintf(buf, sizeof(buf), "%.9f", r.at.to_seconds());
-    out += buf;
+    out += json_fixed(r.at.to_seconds(), 9);
     out += ",\"kind\":\"";
     out += sim::to_string(r.kind);
     out += "\",\"pid\":";
@@ -133,13 +153,11 @@ std::string metrics_json(const MetricsSnapshot& snapshot) {
     first = false;
     out += '"' + json_escape(name) + "\":" + std::to_string(value);
   }
-  char buf[64];
   for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out += ',';
     first = false;
-    std::snprintf(buf, sizeof(buf), "%.9g", value);
     out += '"' + json_escape(name) + "\":";
-    out += buf;
+    out += json_general(value, 9);
   }
   out += '}';
   return out;

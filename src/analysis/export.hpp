@@ -42,6 +42,16 @@ Table metrics_table(const MetricsSnapshot& snapshot);
 /// backslashes, and control characters; no surrounding quotes added).
 std::string json_escape(const std::string& s);
 
+/// Locale-independent "%.<precision>f" — JSON number fields must always use
+/// '.' as the decimal point, but printf honors LC_NUMERIC (a comma-decimal
+/// locale would corrupt the wire format). Implemented on std::to_chars,
+/// which is specified as printf-in-the-C-locale, so output bytes match the
+/// old snprintf path exactly when the locale is sane.
+std::string json_fixed(double v, int precision);
+
+/// Locale-independent "%.<precision>g", same rationale.
+std::string json_general(double v, int precision);
+
 /// Serializes trace records as JSON Lines, one object per record:
 ///   {"t":1.25,"kind":"send","pid":3,"peer":0,"msg":"strobe","bytes":57}
 /// `msg` carries the net::MessageKind name (omitted for non-message

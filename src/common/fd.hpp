@@ -1,0 +1,87 @@
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/error.hpp"
+
+/// POSIX descriptor RAII for the serve layer (DESIGN.md §12). The listener
+/// juggles a listen socket, one fd per session, and a signal pipe through a
+/// single poll loop; every one of them is owned by a UniqueFd so no error
+/// path can leak a descriptor.
+namespace psn {
+
+/// Move-only owner of a file descriptor. -1 means empty.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  explicit operator bool() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+  /// Closes the held descriptor (if any) and adopts `fd`. Close errors are
+  /// ignored: on Linux the descriptor is gone even when close reports EINTR.
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// The classic self-pipe: a nonblocking pipe whose write end is safe to poke
+/// from a signal handler or another thread, waking a poll() that watches the
+/// read end. This is how the listener turns SIGINT/SIGTERM (and test-driven
+/// stop requests) into an ordinary poll event instead of an interruption.
+class SelfPipe {
+ public:
+  SelfPipe() {
+    int fds[2] = {-1, -1};
+    PSN_CHECK(::pipe(fds) == 0, "SelfPipe: pipe() failed");
+    rd_.reset(fds[0]);
+    wr_.reset(fds[1]);
+    for (const int fd : fds) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  }
+
+  int read_fd() const { return rd_.get(); }
+  int write_fd() const { return wr_.get(); }
+
+  /// Async-signal-safe wakeup. A full pipe is fine — the reader is already
+  /// guaranteed to wake.
+  void poke() const {
+    const char byte = 's';
+    [[maybe_unused]] const auto n = ::write(wr_.get(), &byte, 1);
+  }
+
+  /// Swallows every pending wakeup byte.
+  void drain() const {
+    char buf[64];
+    while (::read(rd_.get(), buf, sizeof(buf)) > 0) {
+    }
+  }
+
+ private:
+  UniqueFd rd_;
+  UniqueFd wr_;
+};
+
+}  // namespace psn

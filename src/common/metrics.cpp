@@ -6,6 +6,18 @@
 
 namespace psn {
 
+std::string labeled_metric(std::string_view base, std::uint64_t id,
+                           std::string_view suffix) {
+  std::string out;
+  out.reserve(base.size() + suffix.size() + 22);
+  out += base;
+  out += '.';
+  out += std::to_string(id);
+  out += '.';
+  out += suffix;
+  return out;
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, v] : other.counters) counters[name] += v;
   for (const auto& [name, v] : other.gauges) gauges[name] += v;
@@ -26,6 +38,29 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     mine.underflow += h.underflow;
     mine.overflow += h.overflow;
     mine.total += h.total;
+  }
+}
+
+void MetricsSnapshot::merge_renamed(const MetricsSnapshot& other,
+                                    const RenameFn& rename) {
+  for (const auto& [name, v] : other.counters) {
+    const std::string to = rename(name);
+    if (!to.empty()) counters[to] += v;
+  }
+  for (const auto& [name, v] : other.gauges) {
+    const std::string to = rename(name);
+    if (!to.empty()) gauges[to] += v;
+  }
+  for (const auto& [name, s] : other.stats) {
+    const std::string to = rename(name);
+    if (!to.empty()) stats[to].merge(s);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    const std::string to = rename(name);
+    if (to.empty()) continue;
+    MetricsSnapshot renamed_one;
+    renamed_one.histograms.emplace(to, h);
+    merge(renamed_one);  // reuse the shape-checked histogram merge
   }
 }
 

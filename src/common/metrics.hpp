@@ -1,14 +1,24 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
 namespace psn {
+
+/// Builds the canonical labeled metric name `<base>.<id>.<suffix>` — e.g.
+/// `labeled_metric("serve.stream", 3, "records")` →
+/// "serve.stream.3.records". Labels are plain name segments, so labeled
+/// metrics sort textually inside snapshots and merged server-wide snapshots
+/// stay deterministic without any extra machinery.
+std::string labeled_metric(std::string_view base, std::uint64_t id,
+                           std::string_view suffix);
 
 /// Frozen value of every metric in a registry at one instant, detached from
 /// the registry that produced it. Snapshots are plain data: they can be
@@ -43,6 +53,16 @@ struct MetricsSnapshot {
   /// Accumulates `other` into this snapshot. Shape mismatches on a shared
   /// histogram name (different range or bin count) throw InvariantError.
   void merge(const MetricsSnapshot& other);
+
+  /// Accumulates `other` with every metric renamed through `rename` first —
+  /// how a multi-stream server folds per-session snapshots into one
+  /// registry under per-stream labels (e.g. "serve.records" →
+  /// "serve.stream.3.records"). Returning an empty string drops that
+  /// metric. Deterministic: `other` is walked in its own sorted name order
+  /// and the destination maps stay name-sorted, so merging the same
+  /// snapshots in the same order serializes byte-identically.
+  using RenameFn = std::function<std::string(const std::string&)>;
+  void merge_renamed(const MetricsSnapshot& other, const RenameFn& rename);
 
   /// One row per metric, name-sorted within each kind: name, kind, value
   /// (stats and histograms render a compact summary string).

@@ -1,152 +1,31 @@
 #include "serve/soak_server.hpp"
 
-#include <algorithm>
-#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <string>
 
-#include "analysis/export.hpp"
-#include "serve/trace_feed.hpp"
-
 namespace psn::serve {
 
-namespace {
-
-check::StreamCheckerConfig checker_config(const SoakServerConfig& cfg) {
-  check::StreamCheckerConfig out;
-  out.num_processes = cfg.num_processes;
-  out.send_retention = cfg.send_retention;
-  out.options.validity_horizon = cfg.validity_horizon;
-  out.options.max_recorded_violations = cfg.max_recorded_violations;
-  // executions stays nullptr: the wire carries trace records, never
-  // per-process clock claims, so the checker runs in trace-only mode.
-  return out;
-}
-
-std::string time_field(SimTime t) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9f", t.to_seconds());
-  return buf;
-}
-
-}  // namespace
-
 SoakServer::SoakServer(const SoakServerConfig& config, std::ostream& out)
-    : cfg_(config), out_(out), checker_(checker_config(config)) {}
-
-void SoakServer::emit_metrics() {
-  metrics_.gauge("serve.pending_sends")
-      .set(static_cast<double>(checker_.pending_sends()));
-  out_ << "{\"event\":\"metrics\",\"records\":" << report_.records_fed
-       << ",\"data\":" << analysis::metrics_json(metrics_.snapshot()) << "}\n";
-}
+    : cfg_(config), out_(out) {}
 
 SoakReport SoakServer::run(std::istream& in) {
-  auto records = metrics_.counter("serve.records");
-  auto malformed = metrics_.counter("serve.rejects.malformed");
-  auto out_of_order = metrics_.counter("serve.rejects.out_of_order");
-  auto detects = metrics_.counter("serve.detects");
-  auto violations = metrics_.counter("serve.violations");
-  auto stale = metrics_.counter("serve.stale_observations");
+  SessionConfig session_cfg;
+  session_cfg.soak = cfg_;
+  // Stream writes that fail (downstream pipe closed, disk full) stop the
+  // session instead of killing the process; see Session::emit.
+  Session session(session_cfg, [this](std::string_view chunk) {
+    out_.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    return !out_.fail();
+  });
 
   std::string line;
-  SimTime last = SimTime::zero();
-  bool have_last = false;
-  bool rejected = false;
-  std::size_t stale_seen = 0;
-
-  while (!rejected && std::getline(in, line)) {
-    report_.lines_read++;
-    if (line.empty()) continue;
-
-    const ParsedRecord parsed = parse_trace_line(line);
-    if (!parsed.ok()) {
-      report_.malformed_lines++;
-      malformed.inc();
-      out_ << "{\"event\":\"reject\",\"line\":" << report_.lines_read
-           << ",\"error\":\"" << analysis::json_escape(parsed.error)
-           << "\"}\n";
-      if (!cfg_.lenient) rejected = true;
-      continue;
-    }
-    const sim::TraceRecord& r = parsed.record;
-
-    // The network plane is totally ordered by true time; only kDetect
-    // records may rewind (they carry the causing sense's timestamp and are
-    // appended out-of-band by batch exporters).
-    if (r.kind != sim::TraceKind::kDetect) {
-      if (have_last && r.at < last) {
-        report_.out_of_order_lines++;
-        out_of_order.inc();
-        out_ << "{\"event\":\"reject\",\"line\":" << report_.lines_read
-             << ",\"error\":\"record time " << time_field(r.at)
-             << "s precedes previous record at " << time_field(last)
-             << "s\"}\n";
-        if (!cfg_.lenient) rejected = true;
-        continue;
-      }
-      last = r.at;
-      have_last = true;
-    }
-
-    const auto violation = checker_.feed(r);
-    report_.records_fed++;
-    records.inc();
-
-    if (r.kind == sim::TraceKind::kDetect) {
-      report_.detect_records++;
-      detects.inc();
-      out_ << "{\"event\":\"detect\",\"t\":" << time_field(r.at)
-           << ",\"pid\":" << r.pid;
-      if (!r.note.empty()) {
-        out_ << ",\"detector\":\"" << analysis::json_escape(r.note) << '"';
-      }
-      out_ << "}\n";
-    }
-    if (violation.has_value()) {
-      violations.inc();
-      out_ << "{\"event\":\"violation\",\"t\":" << time_field(violation->at)
-           << ",\"kind\":\"" << check::to_string(violation->kind)
-           << "\",\"pid\":" << violation->pid
-           << ",\"seq\":" << violation->seq << ",\"detail\":\""
-           << analysis::json_escape(violation->detail) << "\"}\n";
-    }
-    const std::size_t now_stale = checker_.stale_observations();
-    if (now_stale > stale_seen) {
-      stale.inc(now_stale - stale_seen);
-      stale_seen = now_stale;
-    }
-    report_.peak_pending_sends =
-        std::max(report_.peak_pending_sends, checker_.pending_sends());
-
-    if (cfg_.metrics_every != 0 &&
-        report_.records_fed % cfg_.metrics_every == 0) {
-      emit_metrics();
-    }
+  while (!session.stopped() && std::getline(in, line)) {
+    session.feed_line(line);
   }
-
-  report_.stale_observations = checker_.stale_observations();
-  const check::CheckReport final_report = checker_.finish();
-  report_.violations = final_report.total_violations();
-  if (rejected) {
-    report_.exit_code = 3;
-  } else if (report_.violations > 0) {
-    report_.exit_code = 1;
-  }
-
-  emit_metrics();
-  out_ << "{\"event\":\"eof\",\"verdict\":\""
-       << (rejected ? "rejected-input" : to_string(final_report.verdict))
-       << "\",\"records\":" << report_.records_fed
-       << ",\"violations\":" << report_.violations
-       << ",\"stale\":" << report_.stale_observations
-       << ",\"rejected\":"
-       << report_.malformed_lines + report_.out_of_order_lines
-       << ",\"peak_pending\":" << report_.peak_pending_sends
-       << ",\"exit\":" << report_.exit_code << "}\n";
+  const SoakReport report = session.finish();
   out_.flush();
-  return report_;
+  return report;
 }
 
 }  // namespace psn::serve

@@ -1,87 +1,39 @@
 #pragma once
 
-#include <cstddef>
 #include <iosfwd>
 
-#include "check/stream_checker.hpp"
-#include "common/metrics.hpp"
-#include "common/sim_time.hpp"
-#include "core/observation.hpp"
+#include "serve/session.hpp"
 
 namespace psn::serve {
 
-struct SoakServerConfig {
-  /// Process count of the producing deployment (including P_0). 0 = unknown
-  /// topology: pid-range checks are skipped, everything else still runs.
-  std::size_t num_processes = 0;
-
-  /// How long an unmatched send/sense entry is retained before eviction —
-  /// the Δ-window that bounds the checker's working set. Must be finite in
-  /// a long-running server; set it comfortably above the deployment's
-  /// end-to-end delay bound so no live edge is ever evicted.
-  Duration send_retention = Duration::seconds(10);
-
-  /// Kopetz-Steiner temporal validity policy; unbounded disables the
-  /// staleness contract.
-  core::ValidityHorizon validity_horizon;
-
-  /// Emit a metrics snapshot line every this many records (0 = only at EOF).
-  std::size_t metrics_every = 100000;
-
-  /// Strict mode (default) stops at the first malformed or out-of-order
-  /// line with exit code 3; lenient mode rejects the line, keeps counting,
-  /// and carries on — for tapping lossy or hand-edited feeds.
-  bool lenient = false;
-
-  /// Violation witnesses retained by the checker (counting never stops).
-  std::size_t max_recorded_violations = 16;
-};
-
-/// What one ingest session did, for the caller's exit handling.
-struct SoakReport {
-  std::size_t lines_read = 0;
-  std::size_t records_fed = 0;
-  std::size_t malformed_lines = 0;
-  std::size_t out_of_order_lines = 0;
-  std::size_t detect_records = 0;
-  std::size_t violations = 0;
-  std::size_t stale_observations = 0;
-  /// High-water mark of the checker's retained send window — the number the
-  /// bounded-memory acceptance test pins.
-  std::size_t peak_pending_sends = 0;
-  /// 0 clean EOF, 1 violations seen, 3 input rejected in strict mode.
-  int exit_code = 0;
-};
-
-/// The long-running ingest loop behind `psn_cli serve` (DESIGN.md §12):
-/// reads JSONL trace records from a stream until EOF, feeds each into a
-/// trace-only StreamChecker, and writes JSONL events to `out` —
+/// The single-stream ingest loop behind `psn_cli serve` without `--listen`
+/// (DESIGN.md §12): reads JSONL trace records from a stream until EOF and
+/// writes JSONL events to `out` —
 ///   {"event":"violation",...}  as contracts are violated
 ///   {"event":"detect",...}     echoing detector transitions out-of-band
 ///   {"event":"reject",...}     for malformed or out-of-order input
 ///   {"event":"metrics",...}    every metrics_every records
 ///   {"event":"eof",...}        final verdict + totals on shutdown
-/// Memory is bounded independent of stream length: the only per-record
-/// state retained is the checker's Δ-window (see SoakServerConfig) and
-/// fixed-size counters. kDetect records carry rewound cause timestamps by
-/// design, so they are exempt from the monotonic-time requirement the
-/// network-plane records must satisfy.
+/// All the work happens in serve::Session — the same per-stream core the
+/// socket Listener runs one of per connection, which is why socket and
+/// stdin verdicts are byte-identical by construction. Memory is bounded
+/// independent of stream length: the only per-record state retained is the
+/// checker's Δ-window (see SoakServerConfig) and fixed-size counters.
+/// kDetect records carry rewound cause timestamps by design, so they are
+/// exempt from the monotonic-time requirement the network-plane records
+/// must satisfy.
 class SoakServer {
  public:
   SoakServer(const SoakServerConfig& config, std::ostream& out);
 
-  /// Runs to EOF (or to the first strict-mode rejection) and returns the
-  /// session totals. One-shot: construct a fresh server per session.
+  /// Runs to EOF (or to the first strict-mode rejection, or until `out`
+  /// stops accepting writes) and returns the session totals. One-shot:
+  /// construct a fresh server per session.
   SoakReport run(std::istream& in);
 
  private:
-  void emit_metrics();
-
   SoakServerConfig cfg_;
   std::ostream& out_;
-  check::StreamChecker checker_;
-  MetricsRegistry metrics_;
-  SoakReport report_;
 };
 
 }  // namespace psn::serve

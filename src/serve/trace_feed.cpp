@@ -1,9 +1,15 @@
 #include "serve/trace_feed.hpp"
 
-#include <cerrno>
+#include <charconv>
 #include <cmath>
-#include <cstdlib>
 #include <string>
+
+#if !defined(__cpp_lib_to_chars) || __cpp_lib_to_chars < 201611L
+#include <cerrno>
+#include <clocale>
+#include <cstdlib>
+#include <cstring>
+#endif
 
 #include "analysis/export.hpp"
 #include "net/message.hpp"
@@ -112,23 +118,55 @@ class LineParser {
     return consume('"');
   }
 
+  // Numbers go through std::from_chars, never strtod/strtoull: the strto*
+  // family honors LC_NUMERIC, so under a comma-decimal locale every
+  // fractional timestamp would be truncated at the '.' (and the trailing
+  // ".5" then rejected as garbage). from_chars is locale-independent by
+  // specification and needs no NUL terminator.
   bool parse_uint(std::uint64_t& out) {
     if (p_ == end_ || *p_ < '0' || *p_ > '9') return false;
-    errno = 0;
-    char* after = nullptr;
-    out = std::strtoull(p_, &after, 10);
-    if (errno == ERANGE || after == p_) return false;
-    p_ = after;
+    const auto res = std::from_chars(p_, end_, out, 10);
+    if (res.ec != std::errc() || res.ptr == p_) return false;
+    p_ = res.ptr;
     return true;
   }
 
   bool parse_double(double& out) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    const auto res = std::from_chars(p_, end_, out);
+    if (res.ec != std::errc() || res.ptr == p_) return false;
+    p_ = res.ptr;
+    return true;
+#else
+    // Shim for standard libraries without floating-point from_chars: copy
+    // the number token, substitute the active locale's decimal point for
+    // '.', and let strtod parse the localized copy. Character counts map
+    // 1:1, so the input cursor advances by exactly what strtod consumed.
+    char buf[64];
+    std::size_t n = 0;
+    const char* q = p_;
+    if (q != end_ && (*q == '-' || *q == '+')) buf[n++] = *q++;
+    char point = '.';
+    if (const struct lconv* lc = std::localeconv()) {
+      if (lc->decimal_point != nullptr && lc->decimal_point[0] != '\0' &&
+          std::strlen(lc->decimal_point) == 1) {
+        point = lc->decimal_point[0];
+      }
+    }
+    while (q != end_ && n + 1 < sizeof(buf) &&
+           ((*q >= '0' && *q <= '9') || *q == '.' || *q == 'e' || *q == 'E' ||
+            *q == '+' || *q == '-')) {
+      buf[n++] = *q == '.' ? point : *q;
+      q++;
+    }
+    buf[n] = '\0';
     errno = 0;
     char* after = nullptr;
-    out = std::strtod(p_, &after);
-    if (errno == ERANGE || after == p_) return false;
-    p_ = after;
+    out = std::strtod(buf, &after);
+    if (errno == ERANGE || after == buf) return false;
+    p_ += after - buf;
     return true;
+#endif
   }
 
   bool seen(ParsedRecord& out, bool& flag, const std::string& key) {
@@ -239,10 +277,7 @@ class LineParser {
 }  // namespace
 
 ParsedRecord parse_trace_line(std::string_view line) {
-  // Copy into a NUL-terminated buffer: the number scanners use strtod and
-  // strtoull, which need a terminator to stop at.
-  const std::string buf(line);
-  return LineParser(buf).parse();
+  return LineParser(line).parse();
 }
 
 std::string trace_line(const sim::TraceRecord& record) {

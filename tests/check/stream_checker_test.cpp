@@ -137,8 +137,8 @@ INSTANTIATE_TEST_SUITE_P(AllClockModes, StreamEquivalenceTest,
                          ::testing::Values(net::ClockMode::kScalarStrobe,
                                            net::ClockMode::kVectorStrobe,
                                            net::ClockMode::kPhysical),
-                         [](const auto& info) {
-                           return std::string(net::to_string(info.param));
+                         [](const auto& mode_info) {
+                           return std::string(net::to_string(mode_info.param));
                          });
 
 TEST(StreamCheckerTest, FeedSurfacesViolationsAsTheyAreWitnessed) {
@@ -176,7 +176,8 @@ TEST(StreamCheckerTest, BoundedRetentionUnderMillionRecordStream) {
   constexpr std::size_t kPairs = 500000;
   std::size_t peak = 0;
   for (std::size_t i = 0; i < kPairs; ++i) {
-    const SimTime at = SimTime::zero() + Duration::millis(1) * i;
+    const SimTime at =
+        SimTime::zero() + Duration::millis(static_cast<std::int64_t>(i));
     const std::uint64_t seq = i + 1;
     EXPECT_FALSE(checker.feed(sense_record(at, 1, seq)).has_value());
     EXPECT_FALSE(checker.feed(deliver_record(at, 0, seq)).has_value());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace psn {
@@ -110,6 +112,60 @@ TEST(MetricsSnapshotTest, MergeRejectsHistogramShapeMismatch) {
   b.histogram("h", 0.0, 4.0, 8).add(1.0);
   MetricsSnapshot merged = a.snapshot();
   EXPECT_THROW(merged.merge(b.snapshot()), InvariantError);
+}
+
+TEST(MetricsSnapshotTest, MergeRenamedRelabelsAndDrops) {
+  // The listener's per-stream fold: session metric names map onto labeled
+  // server-wide names; an empty mapping drops the metric.
+  MetricsRegistry session;
+  session.counter("serve.records").inc(83000);
+  session.counter("serve.violations").inc(2);
+  session.counter("serve.detects").inc(9);  // not folded → dropped
+  session.gauge("serve.peak_pending").set(120.0);
+
+  MetricsSnapshot server;
+  server.merge_renamed(session.snapshot(), [](const std::string& name) {
+    if (name == "serve.records") {
+      return labeled_metric("serve.stream", 3, "records");
+    }
+    if (name == "serve.violations") {
+      return labeled_metric("serve.stream", 3, "violations");
+    }
+    if (name == "serve.peak_pending") {
+      return labeled_metric("serve.stream", 3, "peak_pending");
+    }
+    return std::string();
+  });
+  EXPECT_EQ(server.counters.at("serve.stream.3.records"), 83000u);
+  EXPECT_EQ(server.counters.at("serve.stream.3.violations"), 2u);
+  EXPECT_DOUBLE_EQ(server.gauges.at("serve.stream.3.peak_pending"), 120.0);
+  EXPECT_EQ(server.counters.count("serve.detects"), 0u);
+  EXPECT_EQ(server.counters.size(), 2u);
+}
+
+TEST(MetricsSnapshotTest, MergeRenamedAccumulatesAcrossSources) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(1);
+  b.counter("c").inc(2);
+  a.stat("s").add(1.0);
+  b.stat("s").add(3.0);
+  a.histogram("h", 0.0, 4.0, 4).add(0.5);
+  b.histogram("h", 0.0, 4.0, 4).add(0.5);
+
+  MetricsSnapshot out;
+  const auto same = [](const std::string& name) { return name; };
+  out.merge_renamed(a.snapshot(), same);
+  out.merge_renamed(b.snapshot(), same);
+  EXPECT_EQ(out.counters.at("c"), 3u);
+  EXPECT_EQ(out.stats.at("s").count(), 2u);
+  EXPECT_EQ(out.histograms.at("h").total, 2u);
+}
+
+TEST(MetricsSnapshotTest, LabeledMetricComposesDottedNames) {
+  EXPECT_EQ(labeled_metric("serve.stream", 0, "records"),
+            "serve.stream.0.records");
+  EXPECT_EQ(labeled_metric("serve.stream", 17, "stale"),
+            "serve.stream.17.stale");
 }
 
 TEST(MetricsSnapshotTest, TableIsNameSortedAndStable) {
