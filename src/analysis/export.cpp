@@ -70,6 +70,8 @@ std::string json_escape(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
+          // Integer hex escape — no float conversion, locale cannot touch
+          // it. psn-lint: allow(psn-locale-safe-io)
           std::snprintf(buf, sizeof(buf), "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;

@@ -30,7 +30,16 @@ std::vector<RaceEvent> scan_races(const core::ObservationLog& log,
       const auto& ub = log.updates[order[j]];
       const Duration gap = ub.report.true_sense_time - ua.report.true_sense_time;
       if (gap >= config.window) break;
-      if (ua.reporter == ub.reporter) continue;  // program order resolves it
+      if (ua.reporter == ub.reporter && order[j] > order[i]) {
+        // Same reporter, delivered in program order: nothing raced. But a
+        // non-FIFO transport can deliver one process's updates INVERTED
+        // (order[j] < order[i]: the later sense sits earlier in the log) —
+        // the root then applies them out of program order, which misleads
+        // detectors exactly like an inter-process race and must count as
+        // one. Single-reporter deployments surfaced this: every delivery
+        // inversion was invisible to the audit (found by checker_fuzz).
+        continue;
+      }
       RaceEvent race;
       race.update_a = order[i];
       race.update_b = order[j];

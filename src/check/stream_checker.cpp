@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/hot.hpp"
 #include "net/message.hpp"
 
 namespace psn::check {
@@ -19,7 +20,11 @@ constexpr int kComputationKind =
 }  // namespace
 
 StreamChecker::StreamChecker(const StreamCheckerConfig& config)
-    : cfg_(config), executions_(config.executions) {
+    : cfg_(config),
+      executions_(config.executions),
+      comp_sent_(SeqMap<SentComputation>::allocator_type(arena_)),
+      strobe_sent_(SeqMap<SentStrobe>::allocator_type(arena_)),
+      pending_order_(PoolAllocator<PendingEntry>(arena_)) {
   if (bound()) {
     PSN_CHECK(executions_->size() == cfg_.num_processes,
               "StreamChecker: executions must have one entry per process");
@@ -58,7 +63,7 @@ std::size_t StreamChecker::violations_so_far() const {
   return n;
 }
 
-std::optional<CheckViolation> StreamChecker::feed(
+PSN_HOT std::optional<CheckViolation> StreamChecker::feed(
     const sim::TraceRecord& record) {
   records_fed_++;
   feed_violation_.reset();
@@ -424,7 +429,7 @@ void StreamChecker::check_validity(const sim::TraceRecord& r,
   }
 }
 
-void StreamChecker::evict_expired(SimTime now) {
+PSN_HOT void StreamChecker::evict_expired(SimTime now) {
   if (cfg_.send_retention == Duration::max()) return;
   while (!pending_order_.empty() &&
          pending_order_.front().at + cfg_.send_retention < now) {

@@ -8,6 +8,7 @@
 
 #include "check/check.hpp"
 #include "clocks/timestamp.hpp"
+#include "common/pool_alloc.hpp"
 #include "common/sim_time.hpp"
 #include "common/types.hpp"
 #include "core/event.hpp"
@@ -147,16 +148,28 @@ class StreamChecker {
   StreamCheckerConfig cfg_;
   const std::vector<std::vector<core::ProcessEvent>>* executions_ = nullptr;
   std::vector<OracleState> states_;
-  std::unordered_map<std::uint64_t, SentComputation> comp_sent_;
-  std::unordered_map<std::uint64_t, SentStrobe> strobe_sent_;
-  /// Eviction queue: (entry time, seq, is_strobe) in feed order. Entries
-  /// whose seq was already matched away are skipped lazily.
+  /// Eviction queue entry: (entry time, seq, is_strobe) in feed order.
+  /// Entries whose seq was already matched away are skipped lazily.
   struct PendingEntry {
     SimTime at;
     std::uint64_t seq = 0;
     bool strobe = false;
   };
-  std::deque<PendingEntry> pending_order_;
+  /// Recycling arena backing the streaming working set below. Declared
+  /// before the containers (members destroy in reverse order, and the
+  /// containers hand their nodes back to the arena as they die). With it,
+  /// steady-state feed in trace-only mode performs zero global allocations
+  /// per record once the in-flight window has peaked — pinned by the
+  /// alloc-guard suite (`ctest -L lint`).
+  PoolArena arena_;
+  template <typename V>
+  using SeqMap =
+      std::unordered_map<std::uint64_t, V, std::hash<std::uint64_t>,
+                         std::equal_to<std::uint64_t>,
+                         PoolAllocator<std::pair<const std::uint64_t, V>>>;
+  SeqMap<SentComputation> comp_sent_;
+  SeqMap<SentStrobe> strobe_sent_;
+  std::deque<PendingEntry, PoolAllocator<PendingEntry>> pending_order_;
   std::vector<SenseSample> senses_;
   ContractResult hb_, lamport_, vector_, strobe_scalar_, strobe_vector_,
       soundness_, epsilon_, drift_, validity_;

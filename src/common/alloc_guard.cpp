@@ -1,0 +1,35 @@
+#include "common/alloc_guard.hpp"
+
+namespace psn::alloc_guard {
+
+namespace detail {
+
+// Weak fallback: binaries that do not link the psn_alloc_guard object
+// library resolve counters() to this and report "hooks not installed". The
+// strong definition in alloc_guard_hooks.cpp overrides it at link time.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((weak)) Counters* counters() noexcept { return nullptr; }
+#else
+Counters* counters() noexcept { return nullptr; }
+#endif
+
+}  // namespace detail
+
+bool hooks_installed() noexcept { return detail::counters() != nullptr; }
+
+std::uint64_t thread_allocations() noexcept {
+  const detail::Counters* c = detail::counters();
+  return c != nullptr ? c->allocations : 0;
+}
+
+std::uint64_t thread_deallocations() noexcept {
+  const detail::Counters* c = detail::counters();
+  return c != nullptr ? c->deallocations : 0;
+}
+
+std::uint64_t thread_bytes() noexcept {
+  const detail::Counters* c = detail::counters();
+  return c != nullptr ? c->bytes : 0;
+}
+
+}  // namespace psn::alloc_guard

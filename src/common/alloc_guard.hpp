@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+/// psn::alloc_guard — thread-local allocation counting for hot-path tests
+/// (DESIGN.md §13).
+///
+/// The repo's PR-4 performance story is an *allocation-free steady state* on
+/// the scheduler, broadcast fan-out, dense detector evaluation, and stream-
+/// checker feed paths. Example-based perf tests cannot see a reintroduced
+/// per-event malloc; this guard can: link the `psn_alloc_guard` object
+/// library into a test binary and every `operator new`/`operator delete`
+/// in that binary bumps plain thread-local counters. A test then wraps the
+/// steady-state section in a Scope and asserts `allocations() == 0`.
+///
+/// When the hooks are NOT linked (every production binary), the accessors
+/// resolve to weak fallbacks returning zero and `hooks_installed()` is
+/// false — the header costs nothing to include and tests can skip cleanly
+/// instead of asserting garbage.
+namespace psn::alloc_guard {
+
+namespace detail {
+/// Plain-old-data counters: zero static initialization, no destructor, so
+/// they are safe to touch from operator new at any point in a thread's
+/// life, including before main() and during thread teardown.
+struct Counters {
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// This thread's counters, or nullptr when the counting hooks are not
+/// linked into the binary. Weak-defaulted in alloc_guard.cpp; the strong
+/// definition lives in alloc_guard_hooks.cpp (object library
+/// `psn_alloc_guard`), which also replaces the global allocation operators.
+Counters* counters() noexcept;
+}  // namespace detail
+
+/// True iff the counting operator new/delete replacements are linked in.
+bool hooks_installed() noexcept;
+
+/// Lifetime totals for the calling thread (0 when hooks are absent).
+std::uint64_t thread_allocations() noexcept;
+std::uint64_t thread_deallocations() noexcept;
+std::uint64_t thread_bytes() noexcept;
+
+/// Deltas since construction, on the constructing thread.
+class Scope {
+ public:
+  Scope()
+      : start_allocations_(thread_allocations()),
+        start_deallocations_(thread_deallocations()),
+        start_bytes_(thread_bytes()) {}
+
+  std::uint64_t allocations() const {
+    return thread_allocations() - start_allocations_;
+  }
+  std::uint64_t deallocations() const {
+    return thread_deallocations() - start_deallocations_;
+  }
+  std::uint64_t bytes() const { return thread_bytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_allocations_;
+  std::uint64_t start_deallocations_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace psn::alloc_guard

@@ -1,0 +1,106 @@
+/// Counting replacements for the global allocation operators, plus the
+/// strong definition of psn::alloc_guard::detail::counters(). Built as the
+/// `psn_alloc_guard` OBJECT library and linked only into test binaries that
+/// assert allocation behavior — an object library (not an archive) so the
+/// strong symbol always participates in the link and reliably overrides the
+/// weak fallback in alloc_guard.cpp.
+///
+/// The replacements forward to std::malloc/std::free, so sanitizer malloc
+/// interception (ASan poisoning, LSan leak accounting) keeps working
+/// underneath the counters.
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_guard.hpp"
+
+namespace psn::alloc_guard::detail {
+
+namespace {
+thread_local Counters tls_counters;
+}  // namespace
+
+Counters* counters() noexcept { return &tls_counters; }
+
+namespace {
+
+void* counted_allocate(std::size_t size) {
+  tls_counters.allocations++;
+  tls_counters.bytes += size;
+  // Malloc may legally return nullptr for 0 bytes; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_allocate_nothrow(std::size_t size) noexcept {
+  tls_counters.allocations++;
+  tls_counters.bytes += size;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_allocate_aligned(std::size_t size, std::size_t align) {
+  tls_counters.allocations++;
+  tls_counters.bytes += size;
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  tls_counters.deallocations++;
+  std::free(p);
+}
+
+}  // namespace
+
+}  // namespace psn::alloc_guard::detail
+
+namespace guard = psn::alloc_guard::detail;
+
+void* operator new(std::size_t size) { return guard::counted_allocate(size); }
+void* operator new[](std::size_t size) {
+  return guard::counted_allocate(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return guard::counted_allocate_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return guard::counted_allocate_nothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return guard::counted_allocate_aligned(size,
+                                         static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return guard::counted_allocate_aligned(size,
+                                         static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { guard::counted_free(p); }
+void operator delete[](void* p) noexcept { guard::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { guard::counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  guard::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  guard::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  guard::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  guard::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  guard::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  guard::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  guard::counted_free(p);
+}

@@ -1,0 +1,21 @@
+#pragma once
+
+/// PSN_HOT marks a function as a steady-state hot path: after warmup it must
+/// not allocate — not directly, and not through obviously-allocating std
+/// types. The contract is enforced twice (DESIGN.md §13):
+///
+///  - statically, by the psn-hot-path-alloc check in tools/lint (bans new/
+///    delete, the malloc family, make_unique/make_shared, std::function,
+///    to_string, and stringstreams inside PSN_HOT bodies; a genuinely-warmup
+///    allocation carries a `// psn-lint: allow(psn-hot-path-alloc)` waiver);
+///  - dynamically, by the alloc-guard suite (`ctest -L lint`), which pins
+///    zero allocations per event on the annotated paths after warmup.
+///
+/// The macro also feeds the optimizer: on GCC/Clang it expands to the `hot`
+/// function attribute, so annotated paths get the more aggressive block
+/// placement they deserve.
+#if defined(__GNUC__) || defined(__clang__)
+#define PSN_HOT __attribute__((hot))
+#else
+#define PSN_HOT
+#endif

@@ -9,6 +9,7 @@
 
 #include "clocks/timestamp.hpp"
 #include "common/error.hpp"
+#include "common/hot.hpp"
 
 namespace psn::core {
 
@@ -25,11 +26,13 @@ class TransitionTracker {
   const GlobalState& state() const { return state_; }
   bool holding() const { return holding_; }
 
-  /// Re-evaluates after an applied update; appends a Detection on change.
-  void evaluate(const ReceivedUpdate& update, std::size_t index,
-                bool borderline, std::vector<Detection>& out) {
+  /// Re-evaluates after an applied update; returns a Detection on change.
+  /// The optional form (no vector, no push_back) is what the PSN_HOT
+  /// incremental feed calls — a transition must not cost an allocation.
+  std::optional<Detection> evaluate_one(const ReceivedUpdate& update,
+                                        std::size_t index, bool borderline) {
     const bool now_holds = predicate_.holds(state_);
-    if (now_holds == holding_) return;
+    if (now_holds == holding_) return std::nullopt;
     holding_ = now_holds;
     Detection d;
     d.detected_at = update.delivered_at;
@@ -37,7 +40,13 @@ class TransitionTracker {
     d.borderline = borderline;
     d.cause_true_time = update.report.true_sense_time;
     d.update_index = index;
-    out.push_back(d);
+    return d;
+  }
+
+  /// Re-evaluates after an applied update; appends a Detection on change.
+  void evaluate(const ReceivedUpdate& update, std::size_t index,
+                bool borderline, std::vector<Detection>& out) {
+    if (auto d = evaluate_one(update, index, borderline)) out.push_back(*d);
   }
 
  private:
@@ -73,7 +82,7 @@ struct VarKeyLess {
 class VarInterner {
  public:
   /// Index of (pid, attribute), interning it on first sight.
-  std::uint32_t intern(ProcessId pid, const std::string& name) {
+  PSN_HOT std::uint32_t intern(ProcessId pid, const std::string& name) {
     const VarKeyLess::Key key{pid, name};
     const auto it = index_of_.lower_bound(key);
     if (it != index_of_.end() && VarKeyLess::key(it->first) == key) {
@@ -195,7 +204,7 @@ std::size_t IncrementalStrobeVectorDetector::stale_observations() const {
   return impl_->stale_observations;
 }
 
-std::optional<Detection> IncrementalStrobeVectorDetector::feed(
+PSN_HOT std::optional<Detection> IncrementalStrobeVectorDetector::feed(
     const ReceivedUpdate& u, std::size_t index) {
   Impl& impl = *impl_;
   const std::uint32_t var = impl.interner.intern(u.reporter, u.report.attribute);
@@ -254,10 +263,7 @@ std::optional<Detection> IncrementalStrobeVectorDetector::feed(
   impl.latest[var] = stamp;
   impl.expires[var] = u.validity.expires_at(u.report.synced_timestamp);
   impl.tracker.state().set(impl.interner.var(var), u.report.value.numeric());
-  std::vector<Detection> out;
-  impl.tracker.evaluate(u, index, race || stale, out);
-  if (out.empty()) return std::nullopt;
-  return out.front();
+  return impl.tracker.evaluate_one(u, index, race || stale);
 }
 
 std::vector<Detection> StrobeVectorDetector::run(

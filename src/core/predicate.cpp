@@ -94,26 +94,29 @@ class AggregateExpr final : public Expr {
       : op_(op), name_(std::move(name)) {}
 
   double evaluate(const GlobalState& state) const override {
-    const auto refs = state.vars_named(name_);
-    if (refs.empty()) return 0.0;
-    if (op_ == AggregateOp::kCount) return static_cast<double>(refs.size());
-    double acc = op_ == AggregateOp::kSum ? 0.0
-                                          : state.get(refs[0]).value_or(0.0);
-    for (const auto& r : refs) {
-      const double v = state.get(r).value_or(0.0);
+    // for_each_named, not vars_named: this runs once per delivered update
+    // inside the PSN_HOT detector feed, and materializing a vector of
+    // string-copied VarRefs per evaluation was one allocation per event —
+    // exactly what the alloc-guard suite pins at zero.
+    std::size_t n = 0;
+    double acc = 0.0;
+    state.for_each_named(name_, [&](const VarRef&, double v) {
       switch (op_) {
         case AggregateOp::kSum: acc += v; break;
-        case AggregateOp::kMin: acc = std::min(acc, v); break;
-        case AggregateOp::kMax: acc = std::max(acc, v); break;
-        case AggregateOp::kCount: break;  // handled above
+        case AggregateOp::kMin: acc = n == 0 ? v : std::min(acc, v); break;
+        case AggregateOp::kMax: acc = n == 0 ? v : std::max(acc, v); break;
+        case AggregateOp::kCount: break;  // only n matters
       }
-    }
+      n++;
+    });
+    if (n == 0) return 0.0;
+    if (op_ == AggregateOp::kCount) return static_cast<double>(n);
     return acc;
   }
   bool is_fully_defined(const GlobalState& state) const override {
     // An aggregate is defined over whatever has been reported; it is "fully
     // defined" once at least one instance of the name exists.
-    return !state.vars_named(name_).empty();
+    return state.has_named(name_);
   }
   void collect_vars(const GlobalState& state,
                     std::set<VarRef>& out) const override {

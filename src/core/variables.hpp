@@ -43,6 +43,24 @@ class GlobalState {
   /// paper's system-wide relational predicates such as Σ(x_i − y_i).
   std::vector<VarRef> vars_named(const std::string& name) const;
 
+  /// Allocation-free visitation of every (var, value) whose name matches —
+  /// the hot-path form of vars_named(): aggregate evaluation runs once per
+  /// delivered update inside PSN_HOT detector feeds, so it must not
+  /// materialize a vector of string-copied VarRefs per call.
+  template <typename Fn>
+  void for_each_named(const std::string& name, Fn&& fn) const {
+    for (const auto& [ref, value] : values_) {
+      if (ref.name == name) fn(ref, value);
+    }
+  }
+  /// True iff at least one variable with this name has been reported.
+  bool has_named(const std::string& name) const {
+    for (const auto& [ref, value] : values_) {
+      if (ref.name == name) return true;
+    }
+    return false;
+  }
+
   std::size_t size() const { return values_.size(); }
   const std::map<VarRef, double>& values() const { return values_; }
 

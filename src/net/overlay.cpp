@@ -1,13 +1,13 @@
 #include "net/overlay.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/error.hpp"
 
 namespace psn::net {
 
-Overlay::Overlay(std::size_t n) : n_(n), adj_(n) {
+Overlay::Overlay(std::size_t n)
+    : n_(n), adj_(n), dist_rows_(n), row_valid_(n, 0) {
   PSN_CHECK(n > 0, "overlay needs at least one process");
 }
 
@@ -51,12 +51,14 @@ void Overlay::add_edge(ProcessId a, ProcessId b) {
   if (has_edge(a, b)) return;
   adj_[a].push_back(b);
   adj_[b].push_back(a);
+  std::fill(row_valid_.begin(), row_valid_.end(), 0);
 }
 
 void Overlay::remove_edge(ProcessId a, ProcessId b) {
   PSN_CHECK(a < n_ && b < n_, "edge endpoint out of range");
   std::erase(adj_[a], b);
   std::erase(adj_[b], a);
+  std::fill(row_valid_.begin(), row_valid_.end(), 0);
 }
 
 bool Overlay::has_edge(ProcessId a, ProcessId b) const {
@@ -78,24 +80,32 @@ bool Overlay::is_connected() const {
   return reached == n_;
 }
 
-std::size_t Overlay::hop_distance(ProcessId from, ProcessId to) const {
-  PSN_CHECK(from < n_ && to < n_, "process out of range");
-  if (from == to) return 0;
-  std::vector<std::size_t> dist(n_, SIZE_MAX);
-  std::queue<ProcessId> q;
+const std::vector<std::size_t>& Overlay::distance_row(ProcessId from) const {
+  std::vector<std::size_t>& dist = dist_rows_[from];
+  if (row_valid_[from]) return dist;
+  dist.assign(n_, SIZE_MAX);
+  bfs_queue_.clear();
   dist[from] = 0;
-  q.push(from);
-  while (!q.empty()) {
-    const ProcessId cur = q.front();
-    q.pop();
+  bfs_queue_.push_back(from);
+  // Plain vector + read cursor as the BFS queue: push_back never outruns n_,
+  // so after the first row both buffers sit at full capacity and a
+  // recomputation allocates nothing.
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const ProcessId cur = bfs_queue_[head];
     for (const ProcessId nb : adj_[cur]) {
       if (dist[nb] != SIZE_MAX) continue;
       dist[nb] = dist[cur] + 1;
-      if (nb == to) return dist[nb];
-      q.push(nb);
+      bfs_queue_.push_back(nb);
     }
   }
-  return dist[to];
+  row_valid_[from] = 1;
+  return dist;
+}
+
+std::size_t Overlay::hop_distance(ProcessId from, ProcessId to) const {
+  PSN_CHECK(from < n_ && to < n_, "process out of range");
+  if (from == to) return 0;
+  return distance_row(from)[to];
 }
 
 }  // namespace psn::net

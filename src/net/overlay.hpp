@@ -30,11 +30,26 @@ class Overlay {
 
   bool is_connected() const;
   /// Hop count of the shortest path, or SIZE_MAX if unreachable.
+  ///
+  /// O(1) in steady state: the transport asks this once per transmitted
+  /// copy, so BFS rows are computed lazily per source and cached until the
+  /// next add_edge/remove_edge (the alloc-guard suite pins the transmit
+  /// path at zero allocations — a per-call BFS was three). The cache makes
+  /// this const method non-reentrant: an Overlay must not be shared across
+  /// threads, matching the one-overlay-per-run ownership everywhere else.
   std::size_t hop_distance(ProcessId from, ProcessId to) const;
 
  private:
+  const std::vector<std::size_t>& distance_row(ProcessId from) const;
+
   std::size_t n_;
   std::vector<std::vector<ProcessId>> adj_;
+  /// Lazy shortest-path cache: dist_rows_[p] is p's BFS row when
+  /// row_valid_[p], recomputed in place (capacity reused) after edge
+  /// mutations. bfs_queue_ is the BFS scratch, likewise recycled.
+  mutable std::vector<std::vector<std::size_t>> dist_rows_;
+  mutable std::vector<char> row_valid_;
+  mutable std::vector<ProcessId> bfs_queue_;
 };
 
 }  // namespace psn::net

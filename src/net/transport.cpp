@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/hot.hpp"
 
 namespace psn::net {
 
@@ -132,7 +133,7 @@ void Transport::register_handler(ProcessId pid, Handler handler) {
   handlers_[pid] = std::move(handler);
 }
 
-std::uint64_t Transport::unicast(Message msg) {
+PSN_HOT std::uint64_t Transport::unicast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size() && msg.dst < overlay_.size(),
             "message endpoints out of range");
   PSN_CHECK(msg.src != msg.dst, "self-addressed message");
@@ -143,7 +144,7 @@ std::uint64_t Transport::unicast(Message msg) {
   return seq;
 }
 
-std::uint64_t Transport::broadcast(Message msg) {
+PSN_HOT std::uint64_t Transport::broadcast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size(), "broadcast source out of range");
   msg.seq = ++next_seq_;  // one logical message; every copy shares the seq
   const std::uint64_t seq = msg.seq;
@@ -160,7 +161,7 @@ std::uint64_t Transport::broadcast(Message msg) {
   return seq;
 }
 
-void Transport::transmit(Message msg, std::size_t bytes) {
+PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
   auto& ks = stats_.of(msg.kind);
   const auto kind_index = static_cast<int>(msg.kind);
 

@@ -162,6 +162,9 @@ class LineParser {
     buf[n] = '\0';
     errno = 0;
     char* after = nullptr;
+    // Sanctioned no-<charconv> fallback: the digits above were rewritten to
+    // the active locale's decimal point, so strtod parses them correctly
+    // under any locale. psn-lint: allow(psn-locale-safe-io)
     out = std::strtod(buf, &after);
     if (errno == ERANGE || after == buf) return false;
     p_ += after - buf;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/hot.hpp"
 
 namespace psn::sim {
 
@@ -17,7 +18,7 @@ constexpr std::greater<> kHeapOrder{};
 constexpr std::size_t kCompactFloor = 64;
 }  // namespace
 
-std::uint32_t Scheduler::acquire_slot(Callback&& fn) {
+PSN_HOT std::uint32_t Scheduler::acquire_slot(Callback&& fn) {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
@@ -27,6 +28,8 @@ std::uint32_t Scheduler::acquire_slot(Callback&& fn) {
   PSN_CHECK(slot_count_ < UINT32_MAX, "scheduler slab full");
   const std::uint32_t slot = slot_count_++;
   if ((slot & kSlotBlockMask) == 0) {
+    // Slab growth is warmup, never steady state: blocks are recycled through
+    // the free list forever after. psn-lint: allow(psn-hot-path-alloc)
     slab_.push_back(std::make_unique<Callback[]>(kSlotsPerBlock));
   }
   generations_.push_back(1);
@@ -34,13 +37,13 @@ std::uint32_t Scheduler::acquire_slot(Callback&& fn) {
   return slot;
 }
 
-void Scheduler::release_slot(std::uint32_t slot) {
+PSN_HOT void Scheduler::release_slot(std::uint32_t slot) {
   fn_at(slot).reset();
   generations_[slot]++;
   free_slots_.push_back(slot);
 }
 
-EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
+PSN_HOT EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   PSN_CHECK(at >= now_, "cannot schedule into the past");
   PSN_CHECK(static_cast<bool>(fn), "null callback");
   const std::uint32_t slot = acquire_slot(std::move(fn));
@@ -64,12 +67,12 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   return EventHandle(slot, generation);
 }
 
-EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
+PSN_HOT EventHandle Scheduler::schedule_after(Duration delay, Callback fn) {
   PSN_CHECK(delay >= Duration::zero(), "negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Scheduler::cancel(EventHandle h) {
+PSN_HOT void Scheduler::cancel(EventHandle h) {
   if (!h.valid()) return;
   if (h.slot_ >= slot_count_ || generations_[h.slot_] != h.generation_) {
     return;  // already fired or cancelled; the slot may even be reoccupied
@@ -98,7 +101,7 @@ void Scheduler::bind_metrics(MetricsRegistry& registry) {
   cancelled_metric_ = registry.counter("sim.events_cancelled");
 }
 
-const Scheduler::QueueKey* Scheduler::top() const {
+PSN_HOT const Scheduler::QueueKey* Scheduler::top() const {
   const QueueKey* r = run_head_ < run_.size() ? &run_[run_head_] : nullptr;
   const QueueKey* h = heap_.empty() ? nullptr : heap_.data();
   if (r == nullptr) return h;
@@ -106,7 +109,7 @@ const Scheduler::QueueKey* Scheduler::top() const {
   return *h > *r ? r : h;  // seqs are unique, so the order is strict
 }
 
-void Scheduler::pop_top() {
+PSN_HOT void Scheduler::pop_top() {
   const QueueKey* r = run_head_ < run_.size() ? &run_[run_head_] : nullptr;
   if (r != nullptr && (heap_.empty() || heap_.front() > *r)) {
     run_head_++;
@@ -120,7 +123,7 @@ void Scheduler::pop_top() {
   heap_.pop_back();
 }
 
-void Scheduler::execute_top(QueueKey key) {
+PSN_HOT void Scheduler::execute_top(QueueKey key) {
   pop_top();
   // The callback is moved out and the slot vacated *before* invocation, so
   // the callback is free to schedule (possibly into this very slot) or
@@ -134,7 +137,7 @@ void Scheduler::execute_top(QueueKey key) {
   fn();
 }
 
-SimTime Scheduler::next_time() {
+PSN_HOT SimTime Scheduler::next_time() {
   for (const QueueKey* k = top(); k != nullptr; k = top()) {
     if (slot_matches(*k)) return k->at;
     pop_top();  // drain cancelled-event tombstones
@@ -143,7 +146,7 @@ SimTime Scheduler::next_time() {
   return SimTime::max();
 }
 
-bool Scheduler::step() {
+PSN_HOT bool Scheduler::step() {
   for (const QueueKey* k = top(); k != nullptr; k = top()) {
     if (!slot_matches(*k)) {
       pop_top();  // drain tombstone
@@ -156,7 +159,7 @@ bool Scheduler::step() {
   return false;
 }
 
-std::size_t Scheduler::run_until(SimTime until) {
+PSN_HOT std::size_t Scheduler::run_until(SimTime until) {
   std::size_t n = 0;
   for (const QueueKey* k = top(); k != nullptr && !(k->at > until); k = top()) {
     if (!slot_matches(*k)) {

@@ -1,0 +1,329 @@
+// Alloc-guard regression suite (`ctest -L lint`, DESIGN.md §13).
+//
+// The dynamic half of the PSN_HOT contract: every function annotated
+// PSN_HOT claims an allocation-free steady state, the static lint check
+// (tools/lint) bans the obvious allocating calls from its body, and this
+// suite pins the claim end to end by running each hot path under the
+// counting operator new/delete replacements (common/alloc_guard) and
+// asserting ZERO allocations per event after warmup. A reintroduced
+// per-event malloc — a fattened capture that spills InlineFn's buffer, a
+// container that stopped recycling, a std::string born in a loop — fails
+// here immediately, on the exact path that regressed.
+//
+// Pinned paths (one test each, plus an 8-thread repeat of all four):
+//   1. Scheduler schedule→pop round trip (slab slots + monotone run reuse).
+//   2. Transport broadcast fan-out: delivery executes allocation-free and
+//      the schedule phase's allocation count is independent of fan-out N
+//      (the SharedPayload is allocated once per logical message, never per
+//      copy).
+//   3. IncrementalStrobeVectorDetector::feed, including feeds that flip the
+//      predicate (transitions must not build a vector to return one
+//      detection).
+//   4. StreamChecker::feed in trace-only mode — the soak server's always-on
+//      mode — with a bounded retention window (PoolArena recycles the
+//      matching working set). Bound mode is NOT pinned: replaying claimed
+//      executions retains a full VectorStamp per send entry by design.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/stream_checker.hpp"
+#include "clocks/timestamp.hpp"
+#include "common/alloc_guard.hpp"
+#include "common/pool_alloc.hpp"
+#include "common/sim_time.hpp"
+#include "core/detectors.hpp"
+#include "core/observation.hpp"
+#include "core/predicate.hpp"
+#include "net/delay_model.hpp"
+#include "net/loss_model.hpp"
+#include "net/message.hpp"
+#include "net/overlay.hpp"
+#include "net/transport.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace psn {
+namespace {
+
+using alloc_guard::Scope;
+
+TEST(AllocGuard, HooksAreInstalledAndCount) {
+  ASSERT_TRUE(alloc_guard::hooks_installed())
+      << "psn_alloc_guard must be linked into this binary";
+  Scope scope;
+  auto p = std::make_unique<std::uint64_t>(42);
+  EXPECT_GE(scope.allocations(), 1u);
+  EXPECT_GE(scope.bytes(), sizeof(std::uint64_t));
+  p.reset();
+  EXPECT_GE(scope.deallocations(), 1u);
+}
+
+TEST(AllocGuard, PoolArenaRecyclesExactSizes) {
+  PoolArena arena;
+  void* a = arena.allocate(64);
+  arena.deallocate(a, 64);
+  Scope scope;
+  void* b = arena.allocate(64);  // must come off the free list
+  EXPECT_EQ(scope.allocations(), 0u);
+  EXPECT_EQ(a, b);
+  arena.deallocate(b, 64);
+}
+
+// --- 1. slab scheduler -----------------------------------------------------
+
+std::uint64_t scheduler_steady_allocs(std::size_t rounds) {
+  sim::Scheduler sched;
+  std::uint64_t fired = 0;
+  const auto enqueue = [&](Duration dt) {
+    sched.schedule_after(dt, sim::Scheduler::Callback([&fired] { fired++; }));
+  };
+  // Warmup: reach peak calendar occupancy, then drain — slab blocks, the
+  // monotone run vector, and the free list all hit their steady capacity.
+  for (int i = 0; i < 512; i++) enqueue(Duration::millis(i % 7));
+  sched.run();
+  std::uint64_t baseline = fired;
+
+  Scope scope;
+  for (std::size_t i = 0; i < rounds; i++) {
+    enqueue(Duration::millis(1));
+    enqueue(Duration::millis(2));
+    sched.step();
+    sched.step();
+  }
+  EXPECT_EQ(fired, baseline + 2 * rounds);
+  return scope.allocations();
+}
+
+TEST(AllocGuard, SchedulerScheduleAndPopIsAllocationFree) {
+  EXPECT_EQ(scheduler_steady_allocs(10'000), 0u);
+}
+
+// --- 2. broadcast fan-out --------------------------------------------------
+
+struct BroadcastAllocs {
+  std::uint64_t schedule = 0;  ///< broadcast() call itself
+  std::uint64_t deliver = 0;   ///< executing every delivery event
+};
+
+BroadcastAllocs broadcast_allocs(std::size_t n, std::size_t rounds) {
+  sim::SimConfig cfg;
+  cfg.horizon = SimTime::from_seconds(3600.0);
+  sim::Simulation sim(cfg);
+  net::Transport transport(sim, net::Overlay::complete(n),
+                           std::make_unique<net::FixedDelay>(
+                               Duration::millis(5)),
+                           std::make_unique<net::NoLoss>(),
+                           sim.rng_for("transport"));
+  std::uint64_t delivered = 0;
+  for (ProcessId p = 0; p < n; p++) {
+    transport.register_handler(p,
+                               [&delivered](const net::Message&) { delivered++; });
+  }
+  // The logical message: one SharedPayload, allocated here, outside any
+  // measured scope. Fan-out copies only bump its refcount.
+  net::SenseReportPayload report;
+  report.attribute = "x";
+  report.strobe_vector = clocks::VectorStamp(n);
+  net::Message proto;
+  proto.src = 1;
+  proto.kind = net::MessageKind::kStrobe;
+  proto.payload = net::SharedPayload(report);
+
+  // Warmup: one full fan-out grows the calendar to its peak.
+  transport.broadcast(proto);
+  sim.scheduler().run();
+
+  BroadcastAllocs out;
+  for (std::size_t r = 0; r < rounds; r++) {
+    Scope schedule_scope;
+    transport.broadcast(proto);
+    out.schedule += schedule_scope.allocations();
+    Scope deliver_scope;
+    sim.scheduler().run();
+    out.deliver += deliver_scope.allocations();
+  }
+  EXPECT_EQ(delivered, (rounds + 1) * (n - 1));
+  return out;
+}
+
+TEST(AllocGuard, BroadcastDeliveryIsAllocationFree) {
+  const BroadcastAllocs a = broadcast_allocs(8, 64);
+  EXPECT_EQ(a.deliver, 0u);
+}
+
+TEST(AllocGuard, BroadcastScheduleCostIsIndependentOfFanOut) {
+  // The shared-payload design means scheduling a broadcast to 31 receivers
+  // allocates exactly as much as to 7 (in steady state: nothing — every
+  // delivery closure fits InlineFn's buffer and slots are recycled).
+  const BroadcastAllocs small = broadcast_allocs(8, 64);
+  const BroadcastAllocs large = broadcast_allocs(32, 64);
+  EXPECT_EQ(small.schedule, large.schedule);
+  EXPECT_EQ(small.schedule, 0u);
+}
+
+// --- 3. dense strobe-vector detector --------------------------------------
+
+std::uint64_t detector_feed_allocs(std::size_t rounds,
+                                   std::uint64_t* transitions_out) {
+  const std::size_t kProcs = 5;
+  core::Predicate phi("load", core::aggregate(core::AggregateOp::kSum, "x") >
+                                  100.0);
+  core::IncrementalStrobeVectorDetector det(phi);
+
+  // Pre-built update stream: reporters 1..4 alternate high/low values so the
+  // sum crosses the threshold repeatedly — transitions are the interesting
+  // case (they used to build a std::vector per feed). Stamps advance per
+  // reporter so nothing is discarded as stale.
+  std::vector<core::ReceivedUpdate> updates;
+  std::uint64_t tick = 1;
+  for (std::size_t r = 0; r < rounds; r++) {
+    for (ProcessId p = 1; p < kProcs; p++) {
+      core::ReceivedUpdate u;
+      u.delivered_at = SimTime::zero() + Duration::millis(static_cast<std::int64_t>(tick));
+      u.reporter = p;
+      u.report.attribute = "x";
+      u.report.value = (r % 2 == 0) ? 50.0 : 0.0;
+      u.report.strobe_vector = clocks::VectorStamp(kProcs);
+      u.report.strobe_vector[p] = tick;
+      u.report.synced_timestamp = u.delivered_at;
+      tick++;
+      updates.push_back(std::move(u));
+    }
+  }
+  // Warmup: the first quarter interns variables, sizes the dense tables, and
+  // settles GlobalState's node map.
+  const std::size_t warmup = updates.size() / 4;
+  std::uint64_t transitions = 0;
+  for (std::size_t i = 0; i < warmup; i++) {
+    if (det.feed(updates[i], i)) transitions++;
+  }
+  Scope scope;
+  for (std::size_t i = warmup; i < updates.size(); i++) {
+    if (det.feed(updates[i], i)) transitions++;
+  }
+  if (transitions_out != nullptr) *transitions_out = transitions;
+  return scope.allocations();
+}
+
+TEST(AllocGuard, DetectorFeedIsAllocationFreeIncludingTransitions) {
+  std::uint64_t transitions = 0;
+  const std::uint64_t allocs = detector_feed_allocs(512, &transitions);
+  // The workload must actually exercise the transition branch, at scale.
+  EXPECT_GT(transitions, 100u);
+  EXPECT_EQ(allocs, 0u);
+}
+
+// --- 4. stream checker (trace-only mode) -----------------------------------
+
+std::uint64_t stream_checker_feed_allocs(std::size_t rounds,
+                                         std::size_t* violations_out) {
+  check::StreamCheckerConfig cfg;
+  cfg.num_processes = 8;
+  cfg.send_retention = Duration::from_seconds(2.0);
+  check::StreamChecker checker(cfg);
+
+  // One logical second of traffic per round: every process strobes (sense +
+  // 7 deliveries) and unicasts one computation message to the root. The
+  // in-flight window is constant, so after warmup the PoolArena recycles
+  // every map node and deque block and feed never touches the global
+  // allocator.
+  std::uint64_t seq = 1;
+  sim::TraceRecord rec;  // note strings stay empty — feed never reads them
+  const auto run_round = [&](std::uint64_t round) {
+    const SimTime base =
+        SimTime::zero() + Duration::millis(static_cast<std::int64_t>(round) * 10);
+    for (ProcessId p = 1; p < cfg.num_processes; p++) {
+      const std::uint64_t strobe_seq = seq++;
+      rec.at = base;
+      rec.kind = sim::TraceKind::kSense;
+      rec.pid = p;
+      rec.message_kind = static_cast<int>(net::MessageKind::kStrobe);
+      rec.seq = strobe_seq;
+      checker.feed(rec);
+      for (ProcessId q = 0; q < cfg.num_processes; q++) {
+        if (q == p) continue;
+        rec.at = base + Duration::millis(1);
+        rec.kind = sim::TraceKind::kDeliver;
+        rec.pid = q;
+        rec.seq = strobe_seq;
+        checker.feed(rec);
+      }
+      const std::uint64_t comp_seq = seq++;
+      rec.at = base + Duration::millis(2);
+      rec.kind = sim::TraceKind::kSend;
+      rec.pid = p;
+      rec.message_kind = static_cast<int>(net::MessageKind::kComputation);
+      rec.seq = comp_seq;
+      checker.feed(rec);
+      rec.at = base + Duration::millis(3);
+      rec.kind = sim::TraceKind::kReceive;
+      rec.pid = 0;
+      rec.seq = comp_seq;
+      checker.feed(rec);
+    }
+  };
+
+  // Warmup: enough rounds that the retention window has filled AND drained —
+  // peak working set reached, eviction path exercised.
+  const std::uint64_t warmup_rounds = 512;
+  for (std::uint64_t r = 0; r < warmup_rounds; r++) run_round(r);
+
+  Scope scope;
+  for (std::uint64_t r = 0; r < rounds; r++) run_round(warmup_rounds + r);
+  if (violations_out != nullptr) *violations_out = checker.violations_so_far();
+  return scope.allocations();
+}
+
+TEST(AllocGuard, StreamCheckerTraceOnlyFeedIsAllocationFree) {
+  std::size_t violations = 0;
+  const std::uint64_t allocs = stream_checker_feed_allocs(2048, &violations);
+  EXPECT_EQ(violations, 0u) << "workload must be a clean stream";
+  EXPECT_EQ(allocs, 0u);
+}
+
+// --- 8-thread repeat -------------------------------------------------------
+
+// Counters are thread-local, so each thread independently asserts zero for
+// its own workload; the four paths run concurrently to shake out any hidden
+// shared-state allocation (there must be none — these paths are all
+// per-run/per-session state by design).
+TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
+  constexpr int kThreads = 8;
+  std::vector<std::uint64_t> allocs(kThreads, ~0ull);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([t, &allocs] {
+      std::uint64_t total = 0;
+      switch (t % 4) {
+        case 0:
+          total = scheduler_steady_allocs(2'000);
+          break;
+        case 1:
+          total = broadcast_allocs(8, 16).deliver;
+          break;
+        case 2:
+          total = detector_feed_allocs(128, nullptr);
+          break;
+        case 3:
+          total = stream_checker_feed_allocs(256, nullptr);
+          break;
+      }
+      allocs[static_cast<std::size_t>(t)] = total;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; t++) {
+    EXPECT_EQ(allocs[static_cast<std::size_t>(t)], 0u) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace psn

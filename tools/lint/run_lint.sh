@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the project-specific static checks (psn_lint, DESIGN.md §13) over the
+# library sources. Exit 0 = clean, 1 = findings, 2 = usage/build error.
+#
+#   tools/lint/run_lint.sh [build-dir]
+#
+# Builds psn_lint on demand (configuring with -DPSN_CUSTOM_LINT=ON into
+# [build-dir], default build/) and scans every tracked .cpp/.hpp under src/.
+# CI's custom-lint job is exactly this script.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+cd "${repo_root}"
+
+if [[ ! -x "${build_dir}/tools/lint/psn_lint" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}" -DPSN_CUSTOM_LINT=ON >/dev/null
+  cmake --build "${build_dir}" --target psn_lint -j >/dev/null
+fi
+
+if git -C "${repo_root}" rev-parse --git-dir >/dev/null 2>&1; then
+  mapfile -t files < <(git -C "${repo_root}" ls-files 'src/*.cpp' 'src/*.hpp')
+else
+  mapfile -t files < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_lint.sh: no sources found under src/" >&2
+  exit 2
+fi
+
+exec "${build_dir}/tools/lint/psn_lint" --root "${repo_root}" "${files[@]/#/${repo_root}/}"

@@ -1,0 +1,30 @@
+// Fixture: range-for over unordered containers on an output-feeding path
+// (testdata mirrors src/check/, which is in scope).
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Report {
+  std::unordered_map<int, double> by_seq;
+  std::map<int, double> ordered;
+  std::vector<double> order;
+};
+
+double emit(const Report& r) {
+  double sum = 0;
+  for (const auto& [seq, v] : r.by_seq) {  // FLAG: hash order feeds output
+    sum += v;
+  }
+  for (const auto& [seq, v] : r.ordered) {  // std::map — deterministic, legal
+    sum += v;
+  }
+  for (double v : r.order) {  // vector — deterministic, legal
+    sum += v;
+  }
+  // Key-only lookups into unordered containers are always legal; and an
+  // iteration whose order provably cannot reach output may be suppressed:
+  // psn-lint: allow(psn-determinism)
+  for (const auto& [seq, v] : r.by_seq) sum -= v;
+  return sum;
+}

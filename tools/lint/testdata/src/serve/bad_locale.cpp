@@ -1,0 +1,19 @@
+// Fixture: locale-sensitive float text on the wire path (mirrors src/serve/).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+double parse_value(const char* s) {
+  double direct = std::strtod(s, nullptr);  // FLAG: strtod
+  double loose = atof(s);                   // FLAG: atof
+  return direct + loose;
+}
+
+int format_value(char* out, std::size_t n, double v) {
+  return snprintf(out, n, "%.17g", v);  // FLAG: snprintf float formatting
+}
+
+double sanctioned(const char* s) {
+  // The documented no-<charconv> fallback shim, locale-pinned by its caller.
+  return std::strtod(s, nullptr);  // psn-lint: allow(psn-locale-safe-io)
+}

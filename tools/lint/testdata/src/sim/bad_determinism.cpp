@@ -1,0 +1,34 @@
+// Fixture: every ambient-nondeterminism pattern psn-determinism must catch,
+// interleaved with look-alikes it must NOT flag.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+struct SimTime {
+  explicit SimTime(long n) : nanos(n) {}
+  long nanos;
+};
+
+struct Widget {
+  long time(long x) { return x; }  // member named `time` — legal
+  long clock() { return 7; }       // member named `clock` — legal
+};
+
+long ambient() {
+  auto wall = std::chrono::system_clock::now();  // FLAG: system_clock
+  long t = time(nullptr);                        // FLAG: time()
+  long r = rand();                               // FLAG: rand()
+  srand(42);                                     // FLAG: srand()
+  const char* home = std::getenv("HOME");        // FLAG: getenv()
+  return wall.time_since_epoch().count() + t + r + (home != nullptr);
+}
+
+long fine() {
+  SimTime time(0);   // declaration shaped like a call — legal
+  Widget w;
+  long a = w.time(3);     // member call — legal
+  long b = w.clock();     // member call — legal
+  // Sanctioned wall-clock read for coarse progress logging only.
+  long c = time(nullptr);  // psn-lint: allow(psn-determinism)
+  return time.nanos + a + b + c;
+}

@@ -1,0 +1,33 @@
+// Fixture: allocating operations inside PSN_HOT bodies. PSN_HOT is defined
+// by common/hot.hpp in the real tree; the fixture only needs the token.
+#include <memory>
+#include <string>
+#include <vector>
+
+#define PSN_HOT __attribute__((hot))
+
+struct Slab {
+  std::vector<std::unique_ptr<int[]>> blocks;
+  std::vector<int*> free_list;
+};
+
+PSN_HOT int* hot_acquire(Slab& s) {
+  if (s.free_list.empty()) {
+    int* raw = new int[64];                        // FLAG: new
+    auto block = std::make_unique<int[]>(64);      // FLAG: make_unique
+    std::string label = std::to_string(64);        // FLAG: to_string
+    (void)raw;
+    (void)label;
+  }
+  int* p = s.free_list.back();
+  s.free_list.pop_back();
+  return p;
+}
+
+PSN_HOT void hot_grow_once(Slab& s) {
+  // Growth is warmup, never steady state. psn-lint: allow(psn-hot-path-alloc)
+  s.blocks.push_back(std::make_unique<int[]>(64));
+}
+
+// Not annotated: allocation is fine here, the check must stay quiet.
+int* cold_acquire() { return new int[64]; }

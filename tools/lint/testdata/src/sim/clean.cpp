@@ -1,0 +1,36 @@
+// Fixture: idiomatic hot-path code — every check must stay silent.
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#define PSN_HOT __attribute__((hot))
+
+struct Rng {
+  std::uint64_t s = 1;
+  std::uint64_t next() { return s = s * 6364136223846793005ULL + 1; }
+};
+
+struct Calendar {
+  std::deque<std::uint64_t> run;
+  std::unordered_map<std::uint64_t, int> by_seq;  // keyed access only
+};
+
+PSN_HOT std::uint64_t hot_pop(Calendar& c) {
+  const std::uint64_t seq = c.run.front();
+  c.run.pop_front();
+  c.by_seq.erase(seq);  // lookup/erase by key: deterministic, no iteration
+  return seq;
+}
+
+std::uint64_t drive(Calendar& c, Rng& rng, std::size_t rounds) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < rounds; i++) {
+    const std::uint64_t seq = rng.next();
+    c.run.push_back(seq);
+    c.by_seq[seq] = static_cast<int>(i);
+    acc += hot_pop(c);
+  }
+  for (std::uint64_t v : c.run) acc += v;  // deque: ordered, legal
+  return acc;
+}
