@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_micro.json at the repo root: runs the google-benchmark
-# micro-bench binaries (bench_micro_sim, bench_micro_clocks) and merges their
-# items/sec against the committed pre-optimization baseline
-# (bench/BASELINE_micro.json), so every PR leaves a before/after trajectory.
+# micro-bench binaries (bench_micro_sim, bench_micro_clocks,
+# bench_micro_shards) and merges their items/sec against the committed
+# pre-optimization baseline (bench/BASELINE_micro.json), so every PR leaves
+# a before/after trajectory. Refuses non-Release build trees (see below) and
+# stamps CMAKE_BUILD_TYPE into the output context.
 #
 # Usage: bench/run_bench.sh [build_dir]
 #   build_dir defaults to <repo>/build. Override the per-benchmark minimum
@@ -13,12 +15,39 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 min_time="${BENCH_MIN_TIME:-0.2}"
+
+# Refuse to record numbers from a non-Release build: a debug-built tree once
+# leaked into the committed BENCH_micro.json and made every before/after
+# trajectory meaningless. The build type is read from CMakeCache.txt (the
+# authoritative source) and stamped into the output so a stray number can
+# always be traced back. BENCH_ALLOW_NONRELEASE=1 overrides for local
+# profiling; the override is recorded too.
+cache="${build_dir}/CMakeCache.txt"
+if [[ ! -f "${cache}" ]]; then
+  echo "error: ${cache} not found; is ${build_dir} a configured build tree?" >&2
+  exit 1
+fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${cache}")"
+build_type="${build_type:-unspecified}"
+# (`library_build_type` in the context is the *preinstalled* google-benchmark
+# library's own build mode — informational only; `cmake_build_type` below is
+# what governs the code under test.)
+if [[ "${build_type}" != "Release" && "${build_type}" != "RelWithDebInfo" ]]; then
+  if [[ "${BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+    echo "error: ${build_dir} is CMAKE_BUILD_TYPE=${build_type}, not an optimized build." >&2
+    echo "  Benchmark numbers from such a build must not be committed." >&2
+    echo "  Configure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+    echo "  BENCH_ALLOW_NONRELEASE=1 to record anyway (flagged in the JSON)." >&2
+    exit 1
+  fi
+  echo "warning: recording ${build_type}-build numbers (BENCH_ALLOW_NONRELEASE=1)" >&2
+fi
 baseline="${repo_root}/bench/BASELINE_micro.json"
 out="${repo_root}/BENCH_micro.json"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
-for bench in bench_micro_sim bench_micro_clocks; do
+for bench in bench_micro_sim bench_micro_clocks bench_micro_shards; do
   bin="${build_dir}/bench/${bench}"
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not built (cmake --build ${build_dir} --target ${bench})" >&2
@@ -30,12 +59,15 @@ for bench in bench_micro_sim bench_micro_clocks; do
            --benchmark_out_format=json >&2
 done
 
-jq -s --slurpfile base "${baseline}" '
+jq -s --slurpfile base "${baseline}" \
+   --arg build_type "${build_type}" \
+   --arg override "${BENCH_ALLOW_NONRELEASE:-0}" '
   ($base[0].benchmarks) as $before |
   {
     generated_by: "bench/run_bench.sh",
     baseline: "bench/BASELINE_micro.json (pre hot-path overhaul)",
-    context: (.[0].context | {date, num_cpus, mhz_per_cpu, library_build_type}),
+    context: ((.[0].context | {date, num_cpus, mhz_per_cpu, library_build_type})
+              + {cmake_build_type: $build_type, nonrelease_override: $override}),
     benchmarks: [
       .[].benchmarks[] | select(.run_type == "iteration") |
       ($before[.name]) as $b |
@@ -54,6 +86,7 @@ jq -s --slurpfile base "${baseline}" '
       }
     ]
   }' "${tmp_dir}/bench_micro_sim.json" "${tmp_dir}/bench_micro_clocks.json" \
+     "${tmp_dir}/bench_micro_shards.json" \
   > "${out}"
 
 echo "wrote ${out}" >&2

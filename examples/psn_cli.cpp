@@ -9,7 +9,7 @@
 //                              stdin, or many at once via --listen
 //
 // Shared scenario options (run / check):
-//     --scenario hall|office|hospital   (default hall)
+//     --scenario hall|office|hospital|city   (default hall)
 //     --doors N          door/sensor count for hall        (default 4)
 //     --capacity N       hall capacity threshold           (default 200)
 //     --rate R           world events per second           (default 20)
@@ -21,6 +21,13 @@
 //     --seed N           RNG seed                          (default 1)
 //     --mode scalar|vector|physical     wire clock mode    (default vector)
 //     --validity MS      observation validity horizon, 0 = unbounded
+//     --shards K         space partitions, run in lockstep Δ-windows
+//                        (default 1; results byte-identical at every K)
+//     --shard-threads N  worker threads for the shard fan-out (default 1)
+//     --topology complete|star|ring|line    overlay        (default complete)
+//     --lean-clocks      drop O(n) vector clocks (city scale)
+//     --unicast          sense reports unicast to the root, not broadcast
+//     --fifo             per-channel FIFO delivery (unsharded only)
 //
 // run-only:  --reps N --threads N --csv PATH --metrics --trace PATH
 //            --trace-cap N
@@ -31,6 +38,14 @@
 // Exit codes: 0 ok · 1 violations · 2 usage/config error · 3 stream input
 // rejected (serve) · 4 trace ring truncated under check. Multi-stream serve
 // aggregates across sessions: 3 beats 1 beats 0.
+//
+// Exit 2 covers every option combination the sharded driver cannot honor,
+// each rejected with a one-line remedy before anything runs:
+//   --shards K>1 with --delay sync|exp   (zero minimum one-hop delay — no
+//                                         conservative window exists)
+//   --shards K>1 with --fifo             (delivery-state coupling)
+//   --shards K > doors+1                 (more shards than processes)
+//   --lean-clocks with `check`           (the checker replays vector stamps)
 //
 // Examples:
 //   psn_cli run --scenario hall --doors 8 --delta 250 --reps 10
@@ -83,7 +98,13 @@ struct CliOptions {
   std::string trace;
   std::size_t trace_cap = 1000000;
   std::int64_t validity_ms = 0;  // 0 = unbounded
-  bool check = false;            // legacy flat-flag form only
+  std::size_t shards = 1;
+  std::size_t shard_threads = 1;
+  std::string topology;  // empty = scenario default
+  bool lean_clocks = false;
+  bool unicast = false;
+  bool fifo = false;
+  bool check = false;  // legacy flat-flag form only
 };
 
 [[noreturn]] void usage_error(const std::string& why) {
@@ -95,10 +116,13 @@ struct CliOptions {
 void print_shared_usage() {
   std::printf(
       "  shared options:\n"
-      "    [--scenario hall|office|hospital] [--doors N] [--capacity N]\n"
+      "    [--scenario hall|office|hospital|city] [--doors N] [--capacity N]\n"
       "    [--rate R] [--delta MS] [--delay uniform|fixed|exp|sync]\n"
       "    [--eps US] [--loss P] [--seconds S] [--seed N]\n"
-      "    [--mode scalar|vector|physical] [--validity MS]\n");
+      "    [--mode scalar|vector|physical] [--validity MS]\n"
+      "    [--shards K] [--shard-threads N]\n"
+      "    [--topology complete|star|ring|line]\n"
+      "    [--lean-clocks] [--unicast] [--fifo]\n");
 }
 
 [[noreturn]] void print_usage_and_exit() {
@@ -163,6 +187,22 @@ CliOptions parse_cli(const std::vector<std::string>& args, Command cmd) {
     } else if (flag == "--validity") {
       opt.validity_ms = std::atoll(value().c_str());
       if (opt.validity_ms < 0) usage_error("--validity must be >= 0");
+    } else if (flag == "--shards") {
+      const long long shards = std::atoll(value().c_str());
+      if (shards <= 0) usage_error("--shards must be >= 1");
+      opt.shards = static_cast<std::size_t>(shards);
+    } else if (flag == "--shard-threads") {
+      const long long n = std::atoll(value().c_str());
+      if (n <= 0) usage_error("--shard-threads must be >= 1");
+      opt.shard_threads = static_cast<std::size_t>(n);
+    } else if (flag == "--topology") {
+      opt.topology = value();
+    } else if (flag == "--lean-clocks") {
+      opt.lean_clocks = true;
+    } else if (flag == "--unicast") {
+      opt.unicast = true;
+    } else if (flag == "--fifo") {
+      opt.fifo = true;
     } else if (flag == "--trace-cap") {
       const long long cap = std::atoll(value().c_str());
       if (cap <= 0) usage_error("--trace-cap must be > 0");
@@ -201,6 +241,14 @@ core::DelayKind delay_kind_of(const std::string& name) {
   usage_error("unknown delay model '" + name + "'");
 }
 
+core::TopologyKind topology_of(const std::string& name) {
+  if (name == "complete") return core::TopologyKind::kComplete;
+  if (name == "star") return core::TopologyKind::kStar;
+  if (name == "ring") return core::TopologyKind::kRing;
+  if (name == "line") return core::TopologyKind::kLine;
+  usage_error("unknown topology '" + name + "'");
+}
+
 net::ClockMode clock_mode_of(const std::string& name) {
   if (name == "scalar") return net::ClockMode::kScalarStrobe;
   if (name == "vector") return net::ClockMode::kVectorStrobe;
@@ -225,6 +273,11 @@ analysis::OccupancyConfig occupancy_config_of(const CliOptions& opt) {
   if (opt.validity_ms > 0) {
     cfg.validity_horizon.lifetime = Duration::millis(opt.validity_ms);
   }
+  cfg.shards = opt.shards;
+  cfg.shard_threads = opt.shard_threads;
+  cfg.lean_clocks = opt.lean_clocks;
+  cfg.unicast_reports = opt.unicast;
+  cfg.fifo_channels = opt.fifo;
   if (opt.scenario == "office") {
     cfg.doors = std::max<std::size_t>(2, opt.doors);
     cfg.capacity = 5;  // small-room occupancy
@@ -232,9 +285,22 @@ analysis::OccupancyConfig occupancy_config_of(const CliOptions& opt) {
   } else if (opt.scenario == "hospital") {
     cfg.capacity = 30;
     cfg.movement_rate = std::min(opt.rate, 6.0);
+  } else if (opt.scenario == "city") {
+    // City-scale deployment (DESIGN.md §14): 10^5 door sensors on a star,
+    // each reporting up to the mains-powered root as one unicast, lean
+    // clocks (O(n)-wide vectors are intractable at this n), physical wire
+    // mode. Sized for the `--shards` scaling bench; pass --doors to shrink.
+    if (opt.doors == 4) cfg.doors = 100000;  // 4 = the flag's default
+    cfg.capacity = static_cast<int>(cfg.doors / 2);
+    cfg.movement_rate = std::max(opt.rate, 2000.0);
+    cfg.topology = core::TopologyKind::kStar;
+    cfg.clock_mode = net::ClockMode::kPhysical;
+    cfg.lean_clocks = true;
+    cfg.unicast_reports = true;
   } else if (opt.scenario != "hall") {
     usage_error("unknown scenario '" + opt.scenario + "'");
   }
+  if (!opt.topology.empty()) cfg.topology = topology_of(opt.topology);
   return cfg;
 }
 
@@ -257,6 +323,10 @@ void print_header(std::FILE* out, const CliOptions& opt,
       static_cast<long long>(opt.seconds), opt.reps,
       static_cast<unsigned long long>(opt.seed),
       net::to_string(cfg.clock_mode));
+  if (cfg.shards > 1) {
+    std::fprintf(out, "shards=%zu shard-threads=%zu\n\n", cfg.shards,
+                 cfg.shard_threads);
+  }
 }
 
 /// The checker half of the legacy flat-flag form and the whole `check`
@@ -277,6 +347,11 @@ int run_check(const analysis::OccupancyConfig& base, const CliOptions& opt) {
                  "record count, or pipe the trace through `psn_cli serve` "
                  "(streaming needs no ring)\n");
     return 4;
+  } catch (const ConfigError& e) {
+    // Unsupported option combinations (e.g. --shards with --delay sync, or
+    // --lean-clocks under `check`) reject with a one-line remedy, exit 2.
+    std::fprintf(stderr, "psn_cli: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psn_cli: %s\n", e.what());
     return 1;
@@ -311,6 +386,9 @@ int write_trace(const analysis::OccupancyConfig& base, const CliOptions& opt) {
                    "--trace-cap > %zu for a complete trace\n",
                    run.trace_evicted, opt.trace_cap);
     }
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "psn_cli: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psn_cli: %s\n", e.what());
     return 1;

@@ -8,6 +8,8 @@
 #include "core/detectors.hpp"
 #include "core/oracle.hpp"
 #include "core/predicate_parser.hpp"
+#include "core/sharded_system.hpp"
+#include "world/world_model.hpp"
 
 namespace psn::analysis {
 
@@ -43,6 +45,36 @@ void validate(const OccupancyConfig& config) {
           "OccupancyConfig: duty cycle needs 0 < window <= period");
     }
   }
+  if (config.shards == 0) {
+    throw ConfigError("OccupancyConfig: shards must be >= 1");
+  }
+  if (config.shards > config.doors + 1) {
+    throw ConfigError(
+        "OccupancyConfig: shards must be <= doors + 1 (got " +
+        std::to_string(config.shards) + " shards for " +
+        std::to_string(config.doors) + " doors); lower --shards");
+  }
+  if (config.shard_threads == 0) {
+    throw ConfigError("OccupancyConfig: shard_threads must be >= 1");
+  }
+  if (config.shards > 1 &&
+      (config.delay_kind == core::DelayKind::kSynchronous ||
+       config.delay_kind == core::DelayKind::kExponential)) {
+    throw ConfigError(
+        "OccupancyConfig: sharded execution needs a positive minimum "
+        "one-hop delay and this delay model's is zero; use --delay uniform "
+        "or fixed, or run with --shards 1");
+  }
+  if (config.shards > 1 && config.fifo_channels) {
+    throw ConfigError(
+        "OccupancyConfig: FIFO/causal delivery is unsupported with shards; "
+        "drop --fifo or run with --shards 1");
+  }
+  if (config.check && config.lean_clocks) {
+    throw ConfigError(
+        "OccupancyConfig: the checker replays vector-clock stamps, which "
+        "--lean-clocks disables; drop one of the two");
+  }
 }
 
 const DetectorOutcome& OccupancyRunResult::outcome(
@@ -61,7 +93,8 @@ OccupancyRunResult run_occupancy_experiment(const OccupancyConfig& config) {
 OccupancyRunResult run_occupancy_experiment(
     const Validated<OccupancyConfig>& validated) {
   const OccupancyConfig& config = validated.get();
-  core::SystemConfig sys;
+  core::ShardedSystemConfig scfg;
+  core::SystemConfig& sys = scfg.base;
   sys.num_sensors = config.doors;
   sys.sim.seed = config.seed;
   sys.sim.horizon = SimTime::zero() + config.horizon;
@@ -74,13 +107,28 @@ OccupancyRunResult run_occupancy_experiment(
   sys.delta = config.delta;
   sys.clock_mode = config.clock_mode;
   sys.clock_config.sync_epsilon = config.sync_epsilon;
+  sys.clock_config.track_vectors = !config.lean_clocks;
+  sys.topology = config.topology;
   sys.loss_probability = config.loss_probability;
   sys.loss_windows = config.loss_windows;
   sys.duty_cycle = config.duty_cycle;
   sys.duty_phases_aligned = config.duty_phases_aligned;
+  sys.fifo_channels = config.fifo_channels;
   sys.validity_horizon = config.validity_horizon;
+  scfg.shards = config.shards;
+  scfg.pool_threads = config.shard_threads;
+  scfg.unicast_reports = config.unicast_reports;
 
-  core::PervasiveSystem system(sys);
+  // Pre-roll the world plane. Scenarios are autonomous — the hall draws
+  // only from its own "hall" substream — so the ground-truth timeline is
+  // computed once in a throwaway simulation and *replayed* into the sharded
+  // system, whose per-pid replay chains schedule the same timers at every
+  // shard count (the live hall's global movement chain would not partition).
+  sim::SimConfig pre_cfg;
+  pre_cfg.seed = config.seed;
+  pre_cfg.horizon = sys.sim.horizon;
+  sim::Simulation pre_sim(pre_cfg);
+  world::WorldModel world(pre_sim);
 
   world::ExhibitionHallConfig hall_cfg;
   hall_cfg.doors = static_cast<int>(config.doors);
@@ -88,8 +136,11 @@ OccupancyRunResult run_occupancy_experiment(
   hall_cfg.movement_rate = config.movement_rate;
   hall_cfg.target_occupancy = static_cast<double>(config.capacity);
   hall_cfg.initial_occupancy = config.capacity > 10 ? config.capacity - 10 : 0;
-  world::ExhibitionHall hall(system.world(), hall_cfg,
-                             system.sim().rng_for("hall"));
+  world::ExhibitionHall hall(world, hall_cfg, pre_sim.rng_for("hall"));
+  hall.start();
+  pre_sim.run();
+
+  core::ShardedPervasiveSystem system(scfg);
 
   // Door k is sensed by process k+1 (P_0 is the root monitor).
   for (int k = 0; k < hall_cfg.doors; ++k) {
@@ -97,6 +148,7 @@ OccupancyRunResult run_occupancy_experiment(
     system.assign(hall.door_object(k), "entered", pid);
     system.assign(hall.door_object(k), "exited", pid);
   }
+  system.set_world_events(world.timeline().events());
 
   core::Predicate predicate = core::parse_predicate(
       "overcrowded",
@@ -104,28 +156,37 @@ OccupancyRunResult run_occupancy_experiment(
 
   // The expected update volume is known before the run (movement_rate ×
   // horizon world events, one root delivery each when lossless): reserve the
-  // log once instead of paying its reallocation-copy cascade mid-run.
+  // logs once instead of paying their reallocation-copy cascade mid-run.
   const auto expected_updates = static_cast<std::size_t>(
       config.movement_rate * config.horizon.to_seconds()) + 1;
-  system.root().log().updates.reserve(expected_updates);
+  system.reserve_root_logs(expected_updates);
 
-  hall.start();
   system.run();
 
   OccupancyRunResult result;
   core::GroundTruthOracle oracle(predicate, system.sensing());
-  result.oracle = oracle.evaluate(system.timeline(), sys.sim.horizon);
+  result.oracle = oracle.evaluate(world.timeline(), sys.sim.horizon);
   result.message_stats = system.message_stats();
   result.observed_updates = system.log().updates.size();
-  result.world_events = system.timeline().size();
+  result.world_events = world.timeline().size();
   result.delta_bound = system.delta_bound();
+  result.shard_windows = system.windows();
+  result.shard_cut_edges = system.shard_map().cut_edges();
+
+  const bool tracing = sys.sim.trace_capacity > 0;
+  if (tracing) {
+    result.trace = system.trace_records();
+    result.trace_evicted = system.trace_evicted();
+  }
 
   ScoreConfig score_cfg;
   score_cfg.tolerance = config.effective_tolerance();
 
   // Per-kind traffic detail for the metric snapshot (the transport keeps
   // aggregate counters live; the per-kind split lives in MessageStats).
-  MetricsRegistry& metrics = system.sim().metrics();
+  // These land in shard 0's registry, once — never per shard — so the
+  // merged snapshot is identical at every shard count.
+  MetricsRegistry& metrics = system.metrics();
   for (const net::MessageKind kind :
        {net::MessageKind::kComputation, net::MessageKind::kStrobe,
         net::MessageKind::kSync, net::MessageKind::kActuation}) {
@@ -149,13 +210,31 @@ OccupancyRunResult run_occupancy_experiment(
   // offline detectors append their kDetect records (which it would ignore
   // anyway, but checking the smaller window is cheaper).
   if (config.check) {
+    if (!tracing) {
+      throw ConfigError(
+          "psn::check: tracing was off for this run; set "
+          "OccupancyConfig::trace_capacity > 0 and rerun");
+    }
     check::CheckOptions check_options;
     check_options.validity_horizon = config.validity_horizon;
-    result.check = check::check_system(system, check_options);
+    check::RunInputs inputs;
+    inputs.num_processes = system.num_processes();
+    inputs.sync_epsilon = sys.clock_config.sync_epsilon;
+    inputs.drifting = sys.clock_config.drifting;
+    inputs.executions.resize(inputs.num_processes);  // the root's stays empty
+    const auto executions = system.sensor_executions();
+    for (ProcessId p = 1; p < inputs.num_processes; ++p) {
+      inputs.executions[p] = *executions[p - 1];
+    }
+    inputs.trace = result.trace;
+    inputs.trace_evicted = result.trace_evicted;
+    result.check = check::check_run(inputs, check_options);
   }
 
-  sim::TraceRecorder* trace = system.sim().trace();
   for (const auto& detector : core::all_online_detectors()) {
+    // Lean clocks make vector stamps inert dummies; scoring the
+    // strobe-vector detector against them would be noise, not signal.
+    if (config.lean_clocks && detector->name() == "strobe-vector") continue;
     DetectorOutcome out;
     out.detector = detector->name();
     out.detections = detector->run(system.log(), predicate);
@@ -171,13 +250,15 @@ OccupancyRunResult run_occupancy_experiment(
         .inc(out.score.false_negatives);
     metrics.counter(prefix + ".borderline").inc(out.score.borderline_detections);
     metrics.stat(prefix + ".belief_accuracy").add(out.belief_accuracy);
-    if (trace != nullptr) {
-      // Detection records are appended after the network records (the
-      // detectors replay the log offline); `at` is still sim-time.
+    if (tracing) {
+      // Detection records are appended after the canonically ordered
+      // network records (the detectors replay the log offline); `at` is
+      // still sim-time. The append order is the fixed detector-loop order,
+      // so the trace stays byte-identical across shard counts.
       for (const core::Detection& d : out.detections) {
-        trace->record({d.detected_at, sim::TraceKind::kDetect, 0, kNoProcess,
-                       -1, 0,
-                       out.detector + (d.to_true ? ":true" : ":false")});
+        result.trace.push_back({d.detected_at, sim::TraceKind::kDetect, 0,
+                                kNoProcess, -1, 0,
+                                out.detector + (d.to_true ? ":true" : ":false")});
       }
     }
     result.outcomes.push_back(std::move(out));
@@ -222,11 +303,7 @@ OccupancyRunResult run_occupancy_experiment(
     metrics.counter("check.violations").inc(result.check->total_violations());
   }
 
-  result.metrics = metrics.snapshot();
-  if (trace != nullptr) {
-    result.trace = trace->records();
-    result.trace_evicted = trace->evicted();
-  }
+  result.metrics = system.metrics_snapshot();
   return result;
 }
 

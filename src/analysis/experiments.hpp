@@ -62,6 +62,31 @@ struct OccupancyConfig {
   /// enabled. The report lands in OccupancyRunResult::check.
   bool check = false;
 
+  /// Space partitions K for the sharded runner (DESIGN.md §14). Every run
+  /// goes through core::ShardedPervasiveSystem; K = 1 is one shard with no
+  /// window machinery (every delay kind works there). K > 1 needs a delay
+  /// model with a positive minimum one-hop delay (kUniformBounded, kFixed)
+  /// — validate() rejects the rest. Results are byte-identical at every K.
+  std::size_t shards = 1;
+  /// Worker threads for the per-window shard fan-out (1 = inline). Changes
+  /// wall-clock time only, never results.
+  std::size_t shard_threads = 1;
+  /// Overlay topology. The city-scale scenario uses kStar (sensors report
+  /// up to the mains-powered root).
+  core::TopologyKind topology = core::TopologyKind::kComplete;
+  /// Drops the O(n)-wide vector clocks (city scale: 10^5 processes make
+  /// every snapshot O(n)). The strobe-vector detector is skipped — its
+  /// stamps are inert — and combining with `check` is rejected (the checker
+  /// replays vector stamps).
+  bool lean_clocks = false;
+  /// Sense reports go as one unicast to the root instead of the system-wide
+  /// strobe broadcast (the city-scale star deployment; O(n) vs O(n^2)
+  /// messages per world tick).
+  bool unicast_reports = false;
+  /// Per-channel FIFO (causal) delivery on the transport. Supported only
+  /// unsharded; validate() rejects it with shards > 1.
+  bool fifo_channels = false;
+
   /// Scoring tolerance; zero means "auto": 2Δ + 1 ms.
   Duration score_tolerance = Duration::zero();
 
@@ -99,6 +124,12 @@ struct OccupancyRunResult {
 
   /// Clock-contract + Δ-race-audit report (set iff config.check was on).
   std::optional<check::CheckReport> check;
+
+  /// Δ-windows the sharded drive loop executed (0 when shards = 1) and the
+  /// overlay edges cut by the partition. Diagnostics only — deliberately
+  /// kept out of `metrics` so snapshots stay byte-identical across K.
+  std::size_t shard_windows = 0;
+  std::size_t shard_cut_edges = 0;
 
   const DetectorOutcome& outcome(const std::string& detector) const;
 };

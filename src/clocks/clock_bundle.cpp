@@ -5,43 +5,48 @@ namespace psn::clocks {
 ClockBundle::ClockBundle(ProcessId pid, std::size_t n,
                          ClockBundleConfig config, Rng rng)
     : pid_(pid),
+      track_vectors_(config.track_vectors),
       lamport_(pid),
-      vector_(pid, n),
+      // Lean mode: dimension-1 dummies that are never advanced nor read, so
+      // a city-scale bundle costs O(1) instead of O(n) memory.
+      vector_(track_vectors_ ? pid : 0, track_vectors_ ? n : 1),
       strobe_scalar_(pid),
-      strobe_vector_(pid, n),
+      strobe_vector_(track_vectors_ ? pid : 0, track_vectors_ ? n : 1),
       drifting_(config.drifting, rng.substream("drift")),
       synced_(config.sync_epsilon, rng.substream("sync")) {}
 
 void ClockBundle::on_internal_event() {
   lamport_.tick();
-  vector_.tick();
+  if (track_vectors_) vector_.tick();
 }
 
 StrobeOut ClockBundle::on_sense_event() {
-  lamport_.tick();   // SC1: a sense event is a local relevant event
-  vector_.tick();    // VC1
+  lamport_.tick();  // SC1: a sense event is a local relevant event
+  if (track_vectors_) vector_.tick();                    // VC1
   StrobeOut out;
-  out.scalar = strobe_scalar_.on_relevant_event();  // SSC1
-  out.vector = strobe_vector_.on_relevant_event();  // SVC1
+  out.scalar = strobe_scalar_.on_relevant_event();       // SSC1
+  if (track_vectors_) {
+    out.vector = strobe_vector_.on_relevant_event();     // SVC1
+  }
   return out;
 }
 
 PiggybackStamps ClockBundle::on_send() {
   PiggybackStamps stamps;
-  stamps.lamport = lamport_.on_send();        // SC2
-  stamps.causal_vector = vector_.on_send();   // VC2
+  stamps.lamport = lamport_.on_send();                       // SC2
+  if (track_vectors_) stamps.causal_vector = vector_.on_send();  // VC2
   return stamps;
 }
 
 void ClockBundle::on_receive(const PiggybackStamps& stamps) {
-  lamport_.on_receive(stamps.lamport);            // SC3
-  vector_.on_receive(stamps.causal_vector);       // VC3
+  lamport_.on_receive(stamps.lamport);  // SC3
+  if (track_vectors_) vector_.on_receive(stamps.causal_vector);  // VC3
 }
 
 void ClockBundle::on_strobe(const ScalarStamp& scalar,
                             const VectorStamp& vector) {
-  strobe_scalar_.on_strobe(scalar);   // SSC2
-  strobe_vector_.on_strobe(vector);   // SVC2
+  strobe_scalar_.on_strobe(scalar);  // SSC2
+  if (track_vectors_) strobe_vector_.on_strobe(vector);  // SVC2
 }
 
 ClockSnapshot ClockBundle::snapshot(SimTime true_time) {
@@ -50,9 +55,11 @@ ClockSnapshot ClockBundle::snapshot(SimTime true_time) {
   s.physical_local = drifting_.read(true_time);
   s.physical_synced = synced_.read(true_time);
   s.lamport = lamport_.current();
-  s.causal_vector = vector_.current();
   s.strobe_scalar = strobe_scalar_.current();
-  s.strobe_vector = strobe_vector_.current();
+  if (track_vectors_) {
+    s.causal_vector = vector_.current();
+    s.strobe_vector = strobe_vector_.current();
+  }
   return s;
 }
 

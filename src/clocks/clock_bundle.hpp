@@ -44,6 +44,14 @@ struct ClockBundleConfig {
   DriftingClockConfig drifting;
   /// ε bound of the synchronized-clock service available to this node.
   Duration sync_epsilon = Duration::micros(100);
+  /// When false, the O(n)-sized vector clocks (causal and strobe) are not
+  /// tracked: they are constructed at dimension 1 and never advanced, and
+  /// snapshots/strobes carry empty VectorStamps. At city scale (10^5
+  /// processes) the vectors alone would cost ~80 kB *per process per
+  /// snapshot* — this switch is what makes such runs feasible. Scalar,
+  /// physical, and synced clocks are unaffected; detectors that need
+  /// vectors must be skipped (analysis does).
+  bool track_vectors = true;
 };
 
 /// One process's complete clock state, with the paper's separation enforced
@@ -84,8 +92,11 @@ class ClockBundle {
   DriftingClock& drifting() { return drifting_; }
   EpsSynchronizedClock& synced() { return synced_; }
 
+  bool tracks_vectors() const { return track_vectors_; }
+
  private:
   ProcessId pid_;
+  bool track_vectors_;
   LamportClock lamport_;
   MatternVectorClock vector_;
   StrobeScalarClock strobe_scalar_;

@@ -40,6 +40,11 @@ struct ReceivedUpdate {
   /// Validity policy this update was received under (copied from the log's
   /// policy at append time so per-update overrides remain possible).
   ValidityHorizon validity;
+  /// net::Message::seq of the strobe this update arrived on (0 = a local
+  /// self-report, which carries no message). Run-unique, so the sharded
+  /// runner's per-shard root logs merge into the serial delivery order by
+  /// (delivered_at, seq) with no further tie to break (DESIGN.md §14).
+  std::uint64_t seq = 0;
 };
 
 /// Everything the root observed during one run, in delivery order, plus the

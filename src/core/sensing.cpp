@@ -95,7 +95,15 @@ void SensorNode::sense(const world::WorldEvent& ev) {
   // Broadcast before recording so the n event can carry the strobe's seq
   // (the transport assigns it). Deliveries are scheduler events, so the
   // recorded order is still broadcast sends, this sense, then deliveries.
-  const std::uint64_t seq = transport_.broadcast(std::move(msg));
+  std::uint64_t seq = 0;
+  if (report_target_ == kNoProcess) {
+    seq = transport_.broadcast(std::move(msg));
+  } else {
+    // Report-to-root deployment (city scale): one unicast up the star
+    // instead of an O(n) system-wide strobe fan-out per sense.
+    msg.dst = report_target_;
+    seq = transport_.unicast(std::move(msg));
+  }
 
   const VarRef var{pid_, ev.attribute};
   record_event(EventType::kSense, var, ev.value.numeric(), ev.index, seq);
@@ -145,6 +153,7 @@ void SensorNode::on_message(const net::Message& msg) {
         u.reporter = msg.src;
         u.report = report;
         u.validity = local_log_.validity;
+        u.seq = msg.seq;
         local_log_.updates.push_back(std::move(u));
       }
       break;
@@ -189,6 +198,7 @@ void RootMonitor::on_message(const net::Message& msg) {
   u.reporter = msg.src;
   u.report = report;
   u.validity = log_.validity;
+  u.seq = msg.seq;
   log_.updates.push_back(std::move(u));
   const std::size_t index = log_.updates.size() - 1;
   for (const auto& observer : observers_) {

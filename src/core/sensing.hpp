@@ -80,6 +80,13 @@ class SensorNode {
   bool observation_log_enabled() const { return observing_; }
   const ObservationLog& observation_log() const { return local_log_; }
 
+  /// Routes sense reports as a single unicast to `target` instead of the
+  /// default system-wide strobe broadcast. The city-scale deployment uses
+  /// this: 10^5 sensors strobe-broadcasting would be O(n^2) messages per
+  /// world tick. kNoProcess restores broadcasting.
+  void set_report_target(ProcessId target) { report_target_ = target; }
+  ProcessId report_target() const { return report_target_; }
+
   /// Transport delivery callback.
   void on_message(const net::Message& msg);
 
@@ -97,6 +104,7 @@ class SensorNode {
   std::vector<ProcessEvent> events_;
   world::WorldModel* world_ = nullptr;
   bool observing_ = false;
+  ProcessId report_target_ = kNoProcess;  ///< kNoProcess = strobe broadcast
   ObservationLog local_log_;
 };
 

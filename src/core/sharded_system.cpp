@@ -1,0 +1,413 @@
+#include "core/sharded_system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "net/transport.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulation.hpp"
+
+namespace psn::core {
+
+/// One space partition: a complete Simulation + Transport stack, the shard's
+/// range of sensors, and a replica of the root monitor P_0.
+struct ShardedPervasiveSystem::Shard {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<RootMonitor> root;
+  std::vector<std::unique_ptr<SensorNode>> sensors;  ///< owned pids only
+  ProcessId sensor_base = 1;                         ///< pid of sensors[0]
+
+  SensorNode& sensor(ProcessId pid) { return *sensors[pid - sensor_base]; }
+};
+
+/// Replays one sensor's subsequence of the pre-rolled world timeline as a
+/// self-rescheduling timer chain inside the owner shard. Chaining (instead
+/// of scheduling the whole subsequence up front) keeps the calendar small
+/// and gives every pid the same schedule-on-execute pattern at every K.
+struct ShardedPervasiveSystem::ReplayCursor {
+  SensorNode* node = nullptr;
+  sim::Scheduler* scheduler = nullptr;
+  const std::vector<world::WorldEvent>* timeline = nullptr;
+  std::vector<std::uint32_t> events;  ///< indices into *timeline, ascending
+  std::size_t next = 0;
+
+  void schedule_next() {
+    auto fire_cb = [this] { fire(); };
+    static_assert(sim::Scheduler::Callback::stores_inline<decltype(fire_cb)>(),
+                  "replay timer must not allocate");
+    // Tie 0: sense timers run before any same-instant delivery, the same
+    // canonical policy the serial scheduler applies.
+    scheduler->schedule_at((*timeline)[events[next]].when, /*tie=*/0,
+                           std::move(fire_cb));
+  }
+  void fire() {
+    node->sense((*timeline)[events[next]]);
+    ++next;
+    if (next < events.size()) schedule_next();
+  }
+};
+
+namespace {
+
+net::ShardMap make_shard_map(const ShardedSystemConfig& cfg) {
+  PSN_CHECK(cfg.base.num_sensors >= 1, "need at least one sensor");
+  const std::size_t n = cfg.base.num_sensors + 1;
+  return net::ShardMap::partition(make_system_overlay(cfg.base.topology, n),
+                                  cfg.shards);
+}
+
+}  // namespace
+
+ShardedPervasiveSystem::ShardedPervasiveSystem(ShardedSystemConfig config)
+    : config_(std::move(config)),
+      n_(config_.base.num_sensors + 1),
+      shard_map_(make_shard_map(config_)) {
+  PSN_CHECK(config_.pool_threads >= 1, "pool_threads must be >= 1");
+  if (config_.shards > 1) {
+    // Conservative lookahead: the window W must be covered by the minimum
+    // one-hop delay, or a send inside a window could land inside the same
+    // window on another shard. Callers reject zero-lookahead delay kinds
+    // with a friendly error before getting here; this is the backstop.
+    window_ = make_delay_model(config_.base)->min_delay();
+    PSN_CHECK(window_ > Duration::zero(),
+              "sharded execution needs a delay model with a positive minimum "
+              "one-hop delay (fixed or Delta-bounded kinds)");
+  }
+  outboxes_.resize(config_.shards);
+  for (auto& row : outboxes_) row.resize(config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(build_shard(s));
+  }
+}
+
+ShardedPervasiveSystem::~ShardedPervasiveSystem() = default;
+
+std::unique_ptr<ShardedPervasiveSystem::Shard>
+ShardedPervasiveSystem::build_shard(std::size_t s) {
+  const SystemConfig& base = config_.base;
+  auto sh = std::make_unique<Shard>();
+  // Every shard's Simulation is seeded from the same SimConfig, so named
+  // RNG substreams (transport, clock-per-pid, duty_phase) draw identical
+  // values in every shard — replicated state is bit-identical by build.
+  sh->sim = std::make_unique<sim::Simulation>(base.sim);
+  sh->transport = std::make_unique<net::Transport>(
+      *sh->sim, make_system_overlay(base.topology, n_),
+      make_delay_model(base), make_loss_model(base),
+      sh->sim->rng_for("transport"));
+  sh->transport->set_clock_mode(base.clock_mode);
+  // FIFO channels are rejected for shards > 1 (ctor backstop below the
+  // callers' friendly errors); at one shard they behave as in the serial
+  // system.
+  PSN_CHECK(!base.fifo_channels || config_.shards == 1,
+            "FIFO channels are not supported with shards > 1");
+  sh->transport->set_fifo_channels(base.fifo_channels);
+
+  // The root P_0 is replicated into every shard: a delivery to the root
+  // executes locally in the *sender's* shard against the local replica (the
+  // root only folds observations, it never sends), and the per-shard logs
+  // merge into the serial delivery order after the run.
+  sh->root = std::make_unique<RootMonitor>(0, n_, *sh->sim, base.clock_config,
+                                           sh->sim->rng_for("clock", 0));
+  sh->root->log().delta_bound = delta_bound();
+  sh->root->log().validity = base.validity_horizon;
+  RootMonitor* root = sh->root.get();
+  sh->transport->register_handler(
+      0, [root](const net::Message& msg) { root->on_message(msg); });
+
+  const ProcessId end = shard_map_.end(s);
+  sh->sensor_base = std::max<ProcessId>(1, shard_map_.begin(s));
+  sh->sensors.reserve(end - sh->sensor_base);
+  for (ProcessId pid = sh->sensor_base; pid < end; ++pid) {
+    sh->sensors.push_back(std::make_unique<SensorNode>(
+        pid, n_, *sh->sim, *sh->transport, base.clock_config,
+        sh->sim->rng_for("clock", pid)));
+    SensorNode* node = sh->sensors.back().get();
+    if (config_.unicast_reports) node->set_report_target(0);
+    sh->transport->register_handler(
+        pid, [node](const net::Message& msg) { node->on_message(msg); });
+  }
+
+  // Duty phases: every shard runs the full assignment loop with its own
+  // "duty_phase" substream (identical draws — same master seed) and
+  // installs wake schedules for *all* pids, not just its own: the arrival
+  // adjustment happens in the sender's shard, which must know the wake
+  // schedule of any destination.
+  if (base.duty_cycle.has_value()) {
+    PSN_CHECK(base.duty_cycle->valid(), "invalid duty cycle");
+    Rng phase_rng = sh->sim->rng_for("duty_phase");
+    for (ProcessId pid = 1; pid < n_; ++pid) {
+      net::DutyCycle dc = *base.duty_cycle;
+      if (!base.duty_phases_aligned) {
+        dc.phase = phase_rng.uniform_duration(Duration::zero(),
+                                              dc.period - Duration::nanos(1));
+      }
+      sh->transport->set_wake_schedule(pid, dc);
+    }
+  }
+
+  if (config_.shards > 1) {
+    net::RemoteRoute route;
+    route.is_remote = [this, s](ProcessId dst) {
+      // The root is never remote — every shard delivers to its own replica.
+      return dst != 0 && shard_map_.shard_of(dst) != s;
+    };
+    route.enqueue = [this, s](SimTime at, std::uint64_t tie, net::Message msg,
+                              std::size_t bytes) {
+      outboxes_[s][shard_map_.shard_of(msg.dst)].push_back(
+          {at, tie, std::move(msg), bytes});
+    };
+    sh->transport->set_remote_route(std::move(route));
+  }
+  return sh;
+}
+
+void ShardedPervasiveSystem::assign(world::ObjectId object,
+                                    const std::string& attribute,
+                                    ProcessId sensor) {
+  PSN_CHECK(sensor >= 1 && sensor < n_,
+            "sensing must be assigned to a sensor process (1..n)");
+  sensing_.assign(object, attribute, sensor);
+}
+
+void ShardedPervasiveSystem::set_world_events(
+    std::vector<world::WorldEvent> events) {
+  PSN_CHECK(!ran_, "world events must be installed before run()");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    PSN_CHECK(events[i - 1].when <= events[i].when,
+              "world timeline must be in true-time order");
+  }
+  timeline_ = std::move(events);
+}
+
+void ShardedPervasiveSystem::reserve_root_logs(std::size_t expected_updates) {
+  // Each replica sees only its own shard's reports; contiguous partitioning
+  // keeps that near expected/K, padded 25% for imbalance.
+  const std::size_t per_shard =
+      expected_updates / shards_.size() + expected_updates / (4 * shards_.size()) + 64;
+  for (const auto& sh : shards_) sh->root->log().updates.reserve(per_shard);
+}
+
+SensorNode& ShardedPervasiveSystem::sensor(ProcessId pid) {
+  PSN_CHECK(pid >= 1 && pid < n_, "not a sensor pid");
+  return shards_[shard_map_.shard_of(pid)]->sensor(pid);
+}
+
+Duration ShardedPervasiveSystem::delta_bound() const {
+  const Duration hop = make_delay_model(config_.base)->bound();
+  if (hop == Duration::max()) return Duration::max();
+  // Closed-form diameters (the serial system's all-pairs BFS sweep is
+  // O(n^2) — intractable at city scale). Matches Overlay's builders.
+  std::size_t diameter = 1;
+  switch (config_.base.topology) {
+    case TopologyKind::kComplete: diameter = 1; break;
+    case TopologyKind::kStar: diameter = n_ <= 2 ? 1 : 2; break;
+    case TopologyKind::kRing: diameter = std::max<std::size_t>(1, n_ / 2); break;
+    case TopologyKind::kLine: diameter = n_ - 1; break;
+  }
+  return hop * static_cast<std::int64_t>(diameter);
+}
+
+void ShardedPervasiveSystem::install_cursors() {
+  // Group the timeline by owning sensor pid, preserving timeline order, so
+  // each pid replays exactly its subsequence — event counts and instants
+  // per pid are independent of the shard count by construction.
+  std::vector<std::vector<std::uint32_t>> per_pid(n_);
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    const world::WorldEvent& ev = timeline_[i];
+    const ProcessId pid = sensing_.sensor_of(ev.object, ev.attribute);
+    if (pid == kNoProcess) continue;  // unassigned variables are unobserved
+    per_pid[pid].push_back(static_cast<std::uint32_t>(i));
+  }
+  cursors_.reserve(n_);
+  for (ProcessId pid = 1; pid < n_; ++pid) {
+    if (per_pid[pid].empty()) continue;
+    Shard& sh = *shards_[shard_map_.shard_of(pid)];
+    auto cur = std::make_unique<ReplayCursor>();
+    cur->node = &sh.sensor(pid);
+    cur->scheduler = &sh.sim->scheduler();
+    cur->timeline = &timeline_;
+    cur->events = std::move(per_pid[pid]);
+    cur->schedule_next();
+    cursors_.push_back(std::move(cur));
+  }
+}
+
+std::size_t ShardedPervasiveSystem::exchange_outboxes() {
+  std::size_t moved = 0;
+  const std::size_t k = shards_.size();
+  for (std::size_t d = 0; d < k; ++d) {
+    exchange_scratch_.clear();
+    for (std::size_t s = 0; s < k; ++s) {
+      auto& box = outboxes_[s][d];
+      for (auto& pd : box) exchange_scratch_.push_back(std::move(pd));
+      box.clear();  // keeps capacity — no steady-state allocation
+    }
+    if (exchange_scratch_.empty()) continue;
+    // (at, tie) pairs are unique (the tie embeds the run-unique message
+    // seq), so this sort yields one canonical injection order no matter
+    // which shards the deliveries came from.
+    std::sort(exchange_scratch_.begin(), exchange_scratch_.end(),
+              [](const net::PendingDelivery& a, const net::PendingDelivery& b) {
+                return a.at != b.at ? a.at < b.at : a.tie < b.tie;
+              });
+    net::Transport& transport = *shards_[d]->transport;
+    for (auto& pd : exchange_scratch_) {
+      transport.inject_delivery(pd.at, pd.tie, std::move(pd.msg), pd.bytes);
+    }
+    moved += exchange_scratch_.size();
+  }
+  return moved;
+}
+
+std::size_t ShardedPervasiveSystem::run() {
+  PSN_CHECK(!ran_, "run() may only be called once");
+  ran_ = true;
+  install_cursors();
+
+  const SimTime horizon = config_.base.sim.horizon;
+  std::size_t total = 0;
+  if (shards_.size() == 1) {
+    // One shard: the plain serial loop (Simulation::run()'s semantics,
+    // inlined so the post-run bookkeeping below is shared across K). No
+    // window machinery, so every delay kind works at K = 1.
+    sim::Scheduler& sch = shards_[0]->sim->scheduler();
+    const std::size_t max_events = config_.base.sim.max_events;
+    while (sch.next_time() <= horizon) {
+      if (total >= max_events) {
+        truncated_ = true;
+        break;
+      }
+      sch.step();
+      ++total;
+    }
+  } else {
+    sim::ShardedSimulation::Config dcfg;
+    dcfg.window = window_;
+    dcfg.horizon = horizon;
+    dcfg.pool_threads = config_.pool_threads;
+    std::vector<sim::Simulation*> sims;
+    sims.reserve(shards_.size());
+    for (const auto& sh : shards_) sims.push_back(sh->sim.get());
+    sim::ShardedSimulation driver(std::move(sims), dcfg);
+    total = driver.run([this] { return exchange_outboxes(); });
+    truncated_ = driver.truncated();
+    windows_ = driver.windows();
+  }
+
+  // Post-run bookkeeping written once, into shard 0's registry only, the
+  // same way at every K (Simulation::run() is never used here — its gauges
+  // would be written per shard and merge additively into K-dependent
+  // values).
+  std::size_t pending = 0;
+  for (const auto& sh : shards_) pending += sh->sim->scheduler().pending();
+  MetricsRegistry& metrics = shards_[0]->sim->metrics();
+  metrics.gauge("sim.simulated_s").set(horizon.to_seconds());
+  metrics.gauge("sim.pending_at_end").set(static_cast<double>(pending));
+  if (truncated_) {
+    metrics.counter("sim.truncated_runs").inc();
+    PSN_WARN << "sharded run hit max_events before horizon; results are "
+                "truncated";
+  }
+  merge_root_logs();
+  return total;
+}
+
+void ShardedPervasiveSystem::merge_root_logs() {
+  merged_log_ = ObservationLog{};
+  merged_log_.num_processes = n_;
+  merged_log_.delta_bound = delta_bound();
+  merged_log_.validity = config_.base.validity_horizon;
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh->root->log().updates.size();
+  merged_log_.updates.reserve(total);
+  for (const auto& sh : shards_) {
+    const auto& updates = sh->root->log().updates;
+    merged_log_.updates.insert(merged_log_.updates.end(), updates.begin(),
+                               updates.end());
+  }
+  // Delivery instants can collide across shards; the strobe's run-unique
+  // message seq breaks the tie exactly as the serial scheduler does (the
+  // delivery tie at one instant is seq order).
+  std::stable_sort(merged_log_.updates.begin(), merged_log_.updates.end(),
+                   [](const ReceivedUpdate& a, const ReceivedUpdate& b) {
+                     return a.delivered_at != b.delivered_at
+                                ? a.delivered_at < b.delivered_at
+                                : a.seq < b.seq;
+                   });
+}
+
+net::MessageStats ShardedPervasiveSystem::message_stats() const {
+  net::MessageStats out;
+  constexpr net::MessageKind kKinds[] = {
+      net::MessageKind::kStrobe, net::MessageKind::kComputation,
+      net::MessageKind::kActuation, net::MessageKind::kSync};
+  for (const auto& sh : shards_) {
+    const net::MessageStats& stats = sh->transport->stats();
+    for (const net::MessageKind kind : kKinds) {
+      const auto& in = stats.of(kind);
+      auto& acc = out.of(kind);
+      acc.sent += in.sent;
+      acc.delivered += in.delivered;
+      acc.dropped += in.dropped;
+      acc.unreachable += in.unreachable;
+      acc.bytes_sent += in.bytes_sent;
+    }
+    out.strobe_mode_bytes.scalar += stats.strobe_mode_bytes.scalar;
+    out.strobe_mode_bytes.vector += stats.strobe_mode_bytes.vector;
+    out.strobe_mode_bytes.physical += stats.strobe_mode_bytes.physical;
+  }
+  return out;
+}
+
+MetricsRegistry& ShardedPervasiveSystem::metrics() {
+  return shards_[0]->sim->metrics();
+}
+
+MetricsSnapshot ShardedPervasiveSystem::metrics_snapshot() const {
+  MetricsSnapshot out = shards_[0]->sim->metrics().snapshot();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    out.merge(shards_[s]->sim->metrics().snapshot());
+  }
+  return out;
+}
+
+std::vector<sim::TraceRecord> ShardedPervasiveSystem::trace_records() const {
+  std::vector<sim::TraceRecord> out;
+  for (const auto& sh : shards_) {
+    if (const sim::TraceRecorder* tr = sh->sim->trace()) {
+      std::vector<sim::TraceRecord> records = tr->records();
+      out.insert(out.end(), std::make_move_iterator(records.begin()),
+                 std::make_move_iterator(records.end()));
+    }
+  }
+  sim::canonical_trace_order(out);
+  return out;
+}
+
+std::size_t ShardedPervasiveSystem::trace_evicted() const {
+  std::size_t evicted = 0;
+  for (const auto& sh : shards_) {
+    if (const sim::TraceRecorder* tr = sh->sim->trace()) {
+      evicted += tr->evicted();
+    }
+  }
+  return evicted;
+}
+
+std::vector<const std::vector<ProcessEvent>*>
+ShardedPervasiveSystem::sensor_executions() const {
+  std::vector<const std::vector<ProcessEvent>*> out;
+  out.reserve(n_ - 1);
+  for (ProcessId pid = 1; pid < n_; ++pid) {
+    const Shard& sh = *shards_[shard_map_.shard_of(pid)];
+    out.push_back(&sh.sensors[pid - sh.sensor_base]->events());
+  }
+  return out;
+}
+
+}  // namespace psn::core

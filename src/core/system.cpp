@@ -6,9 +6,7 @@
 
 namespace psn::core {
 
-namespace {
-
-std::unique_ptr<net::DelayModel> make_delay(const SystemConfig& cfg) {
+std::unique_ptr<net::DelayModel> make_delay_model(const SystemConfig& cfg) {
   switch (cfg.delay_kind) {
     case DelayKind::kSynchronous:
       return std::make_unique<net::SynchronousDelay>();
@@ -22,6 +20,8 @@ std::unique_ptr<net::DelayModel> make_delay(const SystemConfig& cfg) {
   PSN_CHECK(false, "unknown delay kind");
   return nullptr;
 }
+
+namespace {
 
 /// Drops when any constituent model drops (Bernoulli noise + scheduled
 /// bursts compose this way).
@@ -44,7 +44,9 @@ class CombinedLoss final : public net::LossModel {
   std::vector<std::unique_ptr<net::LossModel>> models_;
 };
 
-std::unique_ptr<net::LossModel> make_loss(const SystemConfig& cfg) {
+}  // namespace
+
+std::unique_ptr<net::LossModel> make_loss_model(const SystemConfig& cfg) {
   std::vector<std::unique_ptr<net::LossModel>> parts;
   if (cfg.loss_probability > 0.0) {
     parts.push_back(std::make_unique<net::BernoulliLoss>(cfg.loss_probability));
@@ -57,7 +59,7 @@ std::unique_ptr<net::LossModel> make_loss(const SystemConfig& cfg) {
   return std::make_unique<CombinedLoss>(std::move(parts));
 }
 
-net::Overlay make_overlay(TopologyKind kind, std::size_t n) {
+net::Overlay make_system_overlay(TopologyKind kind, std::size_t n) {
   switch (kind) {
     case TopologyKind::kComplete: return net::Overlay::complete(n);
     case TopologyKind::kStar: return net::Overlay::star(n);
@@ -68,8 +70,6 @@ net::Overlay make_overlay(TopologyKind kind, std::size_t n) {
   return net::Overlay(1);
 }
 
-}  // namespace
-
 PervasiveSystem::PervasiveSystem(SystemConfig config)
     : config_(std::move(config)) {
   PSN_CHECK(config_.num_sensors >= 1, "need at least one sensor");
@@ -78,9 +78,11 @@ PervasiveSystem::PervasiveSystem(SystemConfig config)
   sim_ = std::make_unique<sim::Simulation>(config_.sim);
   world_ = std::make_unique<world::WorldModel>(*sim_);
   transport_ = std::make_unique<net::Transport>(
-      *sim_, make_overlay(config_.topology, n), make_delay(config_),
-      make_loss(config_), sim_->rng_for("transport"));
+      *sim_, make_system_overlay(config_.topology, n),
+      make_delay_model(config_), make_loss_model(config_),
+      sim_->rng_for("transport"));
   transport_->set_clock_mode(config_.clock_mode);
+  transport_->set_fifo_channels(config_.fifo_channels);
 
   root_ = std::make_unique<RootMonitor>(0, n, *sim_, config_.clock_config,
                                         sim_->rng_for("clock", 0));

@@ -50,11 +50,23 @@ struct SystemConfig {
   /// unsynchronized baseline (per-node random phases).
   bool duty_phases_aligned = true;
 
+  /// Per-channel FIFO (causal) delivery on the transport. The sharded
+  /// runner rejects this mode (arrival instants would depend on delivery
+  /// state the verbatim outbox replay does not re-examine).
+  bool fifo_channels = false;
+
   /// Temporal-validity policy stamped onto every received observation
   /// (Kopetz-Steiner validity intervals). Default: observations never
   /// expire, which reproduces the paper's original semantics exactly.
   ValidityHorizon validity_horizon;
 };
+
+/// Factories mapping a SystemConfig onto concrete network models — one
+/// definition shared by PervasiveSystem and the sharded runner (DESIGN.md
+/// §14), so both assemble bit-identical planes from the same config.
+std::unique_ptr<net::DelayModel> make_delay_model(const SystemConfig& config);
+std::unique_ptr<net::LossModel> make_loss_model(const SystemConfig& config);
+net::Overlay make_system_overlay(TopologyKind kind, std::size_t n);
 
 /// The assembled system: world plane ⟨O, C⟩, network plane ⟨P, L⟩ with the
 /// root monitor P_0 and sensor processes P_1..P_n, wired so that every

@@ -19,6 +19,12 @@ class DelayModel {
   virtual Duration sample(Rng& rng) = 0;
   /// Upper bound Δ on one hop, or Duration::max() if unbounded.
   virtual Duration bound() const = 0;
+  /// Lower bound on one hop — the conservative lookahead L of the sharded
+  /// driver (no message sent at t can arrive anywhere before t + L, so
+  /// shards may advance L apart without synchronizing; DESIGN.md §14).
+  /// Zero (the conservative default) means "no lookahead": such a model
+  /// cannot be sharded.
+  virtual Duration min_delay() const { return Duration::zero(); }
   virtual std::string name() const = 0;
 };
 
@@ -37,6 +43,7 @@ class FixedDelay final : public DelayModel {
   explicit FixedDelay(Duration d);
   Duration sample(Rng&) override { return d_; }
   Duration bound() const override { return d_; }
+  Duration min_delay() const override { return d_; }
   std::string name() const override;
 
  private:
@@ -52,6 +59,7 @@ class UniformBoundedDelay final : public DelayModel {
 
   Duration sample(Rng& rng) override;
   Duration bound() const override { return max_; }
+  Duration min_delay() const override { return min_; }
   std::string name() const override;
 
  private:
@@ -65,6 +73,7 @@ class ExponentialDelay final : public DelayModel {
   explicit ExponentialDelay(Duration mean, Duration floor = Duration::zero());
   Duration sample(Rng& rng) override;
   Duration bound() const override { return Duration::max(); }
+  Duration min_delay() const override { return floor_; }
   std::string name() const override;
 
  private:

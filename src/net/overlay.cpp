@@ -105,6 +105,14 @@ const std::vector<std::size_t>& Overlay::distance_row(ProcessId from) const {
 std::size_t Overlay::hop_distance(ProcessId from, ProcessId to) const {
   PSN_CHECK(from < n_ && to < n_, "process out of range");
   if (from == to) return 0;
+  // Small-degree fast path: a leaf that only ever talks to a direct
+  // neighbor (a city-scale sensor unicasting to the star hub) answers from
+  // its adjacency list and never materializes an O(n) BFS row — at 10^5
+  // processes the rows alone would be tens of GB.
+  if (!row_valid_[from] && adj_[from].size() <= kDirectScanDegree) {
+    const auto& nb = adj_[from];
+    if (std::find(nb.begin(), nb.end(), to) != nb.end()) return 1;
+  }
   return distance_row(from)[to];
 }
 

@@ -40,6 +40,10 @@ class Overlay {
   std::size_t hop_distance(ProcessId from, ProcessId to) const;
 
  private:
+  /// Degree at or below which hop_distance answers direct-neighbor queries
+  /// by scanning the adjacency list instead of building a BFS row.
+  static constexpr std::size_t kDirectScanDegree = 4;
+
   const std::vector<std::size_t>& distance_row(ProcessId from) const;
 
   std::size_t n_;

@@ -102,8 +102,12 @@ Transport::Transport(sim::Simulation& sim, Overlay overlay,
       overlay_(std::move(overlay)),
       delay_(std::move(delay)),
       loss_(std::move(loss)),
-      rng_(rng),
       handlers_(overlay_.size()),
+      // One draw from the injected substream seeds every per-message Rng.
+      // Shard replicas built from the same master seed get the same value,
+      // so a message's delay/loss draws match wherever its sender lives.
+      msg_seed_(rng.engine()()),
+      per_source_next_(overlay_.size(), 0),
       wake_(overlay_.size()) {
   PSN_CHECK(delay_ != nullptr, "transport needs a delay model");
   PSN_CHECK(loss_ != nullptr, "transport needs a loss model");
@@ -133,11 +137,20 @@ void Transport::register_handler(ProcessId pid, Handler handler) {
   handlers_[pid] = std::move(handler);
 }
 
+PSN_HOT std::uint64_t Transport::next_seq_for(ProcessId src) {
+  // Per-source allocation with stride |P|: source s's n-th message gets
+  // n·|P| + s + 1. Ids stay run-unique and 1-based, but no longer depend on
+  // the global send interleaving — shard the run any way you like and every
+  // message keeps its id.
+  return per_source_next_[src]++ * static_cast<std::uint64_t>(overlay_.size()) +
+         src + 1;
+}
+
 PSN_HOT std::uint64_t Transport::unicast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size() && msg.dst < overlay_.size(),
             "message endpoints out of range");
   PSN_CHECK(msg.src != msg.dst, "self-addressed message");
-  msg.seq = ++next_seq_;
+  msg.seq = next_seq_for(msg.src);
   const std::uint64_t seq = msg.seq;
   const std::size_t bytes = wire_bytes(msg, clock_mode_);
   transmit(std::move(msg), bytes);
@@ -146,7 +159,7 @@ PSN_HOT std::uint64_t Transport::unicast(Message msg) {
 
 PSN_HOT std::uint64_t Transport::broadcast(Message msg) {
   PSN_CHECK(msg.src < overlay_.size(), "broadcast source out of range");
-  msg.seq = ++next_seq_;  // one logical message; every copy shares the seq
+  msg.seq = next_seq_for(msg.src);  // one logical message; copies share it
   const std::uint64_t seq = msg.seq;
   // Every fan-out copy shares msg's immutable payload cell (one stamp
   // allocation per broadcast, not one per recipient) and — since wire size
@@ -196,9 +209,16 @@ PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
                 kind_index, bytes, {}, msg.seq});
   }
 
+  // A private Rng per copy, keyed by (transport seed, seq, dst): delay and
+  // loss draws depend only on the message's identity, never on how sends
+  // from different processes interleave globally. This is what lets shards
+  // transmit concurrently yet byte-match the serial run (DESIGN.md §14).
+  Rng hop_rng(mix64(msg_seed_ ^ mix64(msg.seq) ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(msg.dst) + 1))));
   Duration total = Duration::zero();
   for (std::size_t h = 0; h < hops; ++h) {
-    if (loss_->drop(sim_.now(), rng_)) {
+    if (loss_->drop(sim_.now(), hop_rng)) {
       ks.dropped++;
       dropped_metric_.inc();
       if (sim::TraceRecorder* tr = sim_.trace()) {
@@ -207,43 +227,63 @@ PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
       }
       return;
     }
-    total += delay_->sample(rng_);
+    total += delay_->sample(hop_rng);
   }
+  SimTime at = sim_.now() + total;
   // Duty cycling: an arrival during the receiver's sleep window waits at
   // the MAC until the next wake edge.
-  if (wake_[msg.dst].has_value()) {
-    const SimTime arrival = sim_.now() + total;
-    const SimTime deliverable = wake_[msg.dst]->next_wake(arrival);
-    total = deliverable - sim_.now();
-  }
+  if (wake_[msg.dst].has_value()) at = wake_[msg.dst]->next_wake(at);
   if (fifo_) {
     SimTime& last = last_delivery_[{msg.src, msg.dst}];
-    SimTime at = sim_.now() + total;
     if (at <= last) at = last + Duration::nanos(1);
     last = at;
-    total = at - sim_.now();
+  }
+  const std::uint64_t tie = delivery_tie(msg.seq, msg.dst);
+  if (remote_route_.is_remote && remote_route_.is_remote(msg.dst)) {
+    remote_route_.enqueue(at, tie, std::move(msg), bytes);
+    return;
   }
   auto deliver = [this, msg = std::move(msg), bytes]() mutable {
-    const ProcessId dst = msg.dst;
-    auto& stats = stats_.of(msg.kind);
-    PSN_CHECK(static_cast<bool>(handlers_[dst]),
-              "no handler registered for destination process");
-    msg.delivered_at = sim_.now();
-    stats.delivered++;
-    delivered_metric_.inc();
-    delay_ms_metric_.add((msg.delivered_at - msg.sent_at).to_millis());
-    if (sim::TraceRecorder* tr = sim_.trace()) {
-      tr->record({sim_.now(), sim::TraceKind::kDeliver, dst, msg.src,
-                  static_cast<int>(msg.kind), bytes, {}, msg.seq});
-    }
-    handlers_[dst](msg);
+    deliver_now(std::move(msg), bytes);
   };
   // The whole point of the shared payload: the per-recipient delivery
   // closure is small enough to live inside the scheduler's slab slot, so a
   // broadcast fan-out schedules N deliveries with zero heap allocations.
   static_assert(sim::Scheduler::Callback::stores_inline<decltype(deliver)>(),
                 "delivery closure must fit the scheduler's inline buffer");
-  sim_.scheduler().schedule_after(total, std::move(deliver));
+  sim_.scheduler().schedule_at(at, tie, std::move(deliver));
+}
+
+std::uint64_t Transport::delivery_tie(std::uint64_t seq, ProcessId dst) {
+  PSN_CHECK(dst < (1u << 20), "pid too large for delivery-tie encoding");
+  return (seq << 20) | dst;
+}
+
+PSN_HOT void Transport::deliver_now(Message msg, std::size_t bytes) {
+  const ProcessId dst = msg.dst;
+  auto& stats = stats_.of(msg.kind);
+  PSN_CHECK(static_cast<bool>(handlers_[dst]),
+            "no handler registered for destination process");
+  msg.delivered_at = sim_.now();
+  stats.delivered++;
+  delivered_metric_.inc();
+  delay_ms_metric_.add((msg.delivered_at - msg.sent_at).to_millis());
+  if (sim::TraceRecorder* tr = sim_.trace()) {
+    tr->record({sim_.now(), sim::TraceKind::kDeliver, dst, msg.src,
+                static_cast<int>(msg.kind), bytes, {}, msg.seq});
+  }
+  handlers_[dst](msg);
+}
+
+void Transport::inject_delivery(SimTime at, std::uint64_t tie, Message msg,
+                                std::size_t bytes) {
+  PSN_CHECK(at >= sim_.now(), "injected delivery lands in this shard's past");
+  auto deliver = [this, msg = std::move(msg), bytes]() mutable {
+    deliver_now(std::move(msg), bytes);
+  };
+  static_assert(sim::Scheduler::Callback::stores_inline<decltype(deliver)>(),
+                "delivery closure must fit the scheduler's inline buffer");
+  sim_.scheduler().schedule_at(at, tie, std::move(deliver));
 }
 
 }  // namespace psn::net

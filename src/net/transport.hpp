@@ -56,6 +56,19 @@ struct MessageStats {
   std::array<KindStats, 4> per_kind_{};
 };
 
+/// Hook the sharded driver installs to divert deliveries addressed to a
+/// process owned by another shard (DESIGN.md §14). `transmit` computes the
+/// delivery instant and canonical tie exactly as it would locally, then
+/// hands the ready-to-fire delivery to `enqueue` instead of its own
+/// calendar; the window barrier later replays it into the owner shard via
+/// `inject_delivery`. Unset (the default) = everything is local.
+struct RemoteRoute {
+  std::function<bool(ProcessId dst)> is_remote;
+  std::function<void(SimTime at, std::uint64_t tie, Message msg,
+                     std::size_t bytes)>
+      enqueue;
+};
+
 /// Asynchronous message-passing transport over the overlay L.
 ///
 /// Unicasts follow the shortest path, accumulating one delay sample and one
@@ -63,6 +76,14 @@ struct MessageStats {
 /// rules) fan out to every other process as independent unicasts — delays
 /// differ per receiver, which is precisely what creates the race conditions
 /// the paper analyzes.
+///
+/// Determinism contract (what makes sharded execution byte-exact, §14):
+/// sequence ids are allocated per *source* with stride |P| (`seq =
+/// n_src·|P| + src + 1`), and every per-copy delay/loss draw comes from a
+/// private Rng keyed by (transport seed, seq, dst) — so both ids and
+/// arrival times are pure functions of the message's identity, independent
+/// of how transmissions from different processes interleave, and therefore
+/// identical at any shard count.
 class Transport {
  public:
   Transport(sim::Simulation& sim, Overlay overlay,
@@ -102,12 +123,36 @@ class Transport {
   /// copies share one sequence id, which is returned.
   std::uint64_t broadcast(Message msg);
 
+  /// Diverts deliveries whose destination `route.is_remote(dst)` into
+  /// `route.enqueue` instead of the local calendar (sharded driver only).
+  void set_remote_route(RemoteRoute route) { remote_route_ = std::move(route); }
+
+  /// Canonical same-instant rank of a delivery: (seq << 20) | dst. Strictly
+  /// positive (seq >= 1), so timers (tie 0) run before co-instant
+  /// deliveries; unique per copy, so co-instant deliveries fire in (seq,
+  /// dst) order in *every* shard layout. 20 bits caps pids at ~10^6 (city
+  /// scale is 10^5) and leaves 44 bits of seq — ample, seqs grow by |P| per
+  /// source message.
+  static std::uint64_t delivery_tie(std::uint64_t seq, ProcessId dst);
+
+  /// Executes a delivery at the current instant: delivered accounting,
+  /// kDeliver trace, handler dispatch. Public so a peer shard's buffered
+  /// delivery replays through the owner's transport.
+  void deliver_now(Message msg, std::size_t bytes);
+
+  /// Schedules a delivery whose time/tie were computed by a peer shard's
+  /// transmit() (the sender's side of the outbox exchange).
+  void inject_delivery(SimTime at, std::uint64_t tie, Message msg,
+                       std::size_t bytes);
+
   Overlay& overlay() { return overlay_; }
   const Overlay& overlay() const { return overlay_; }
   DelayModel& delay_model() { return *delay_; }
   const MessageStats& stats() const { return stats_; }
 
  private:
+  /// Allocates the next per-source-strided sequence id for `src`.
+  std::uint64_t next_seq_for(ProcessId src);
   /// `bytes` is the wire price of the message under the active clock mode,
   /// computed once per logical message (unicast: per message; broadcast:
   /// once for the whole fan-out — all copies share payload, kind, and mode).
@@ -117,10 +162,11 @@ class Transport {
   Overlay overlay_;
   std::unique_ptr<DelayModel> delay_;
   std::unique_ptr<LossModel> loss_;
-  Rng rng_;
   std::vector<Handler> handlers_;
   MessageStats stats_;
-  std::uint64_t next_seq_ = 0;  ///< last assigned Message::seq (0 = none yet)
+  std::uint64_t msg_seed_;  ///< keys every per-message delay/loss stream
+  std::vector<std::uint64_t> per_source_next_;  ///< messages sent per source
+  RemoteRoute remote_route_;
   ClockMode clock_mode_ = ClockMode::kVectorStrobe;
   // Aggregate observability handles into the run's MetricsRegistry
   // (per-kind detail stays in MessageStats).

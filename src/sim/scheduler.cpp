@@ -44,19 +44,24 @@ PSN_HOT void Scheduler::release_slot(std::uint32_t slot) {
 }
 
 PSN_HOT EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
+  return schedule_at(at, 0, std::move(fn));
+}
+
+PSN_HOT EventHandle Scheduler::schedule_at(SimTime at, std::uint64_t tie,
+                                           Callback fn) {
   PSN_CHECK(at >= now_, "cannot schedule into the past");
   PSN_CHECK(static_cast<bool>(fn), "null callback");
   const std::uint32_t slot = acquire_slot(std::move(fn));
   const std::uint32_t generation = generations_[slot];
-  const QueueKey key{at, next_seq_++, slot, generation};
+  const QueueKey key{at, tie, next_seq_++, slot, generation};
   if (run_head_ == run_.size()) {
     // Run drained: recycle the vector and start a fresh run.
     run_.clear();
     run_head_ = 0;
     run_.push_back(key);
-  } else if (!(run_.back().at > at)) {
-    // Nondecreasing time and strictly increasing seq: appending keeps the
-    // run sorted by (at, seq). This is the overwhelmingly common case.
+  } else if (!(run_.back() > key)) {
+    // Nondecreasing (at, tie) and strictly increasing seq: appending keeps
+    // the run sorted. This is the overwhelmingly common case.
     run_.push_back(key);
   } else {
     heap_.push_back(key);
@@ -116,6 +121,16 @@ PSN_HOT void Scheduler::pop_top() {
     if (run_head_ == run_.size()) {
       run_.clear();
       run_head_ = 0;
+    } else if (run_head_ > kCompactFloor && run_head_ * 2 >= run_.size()) {
+      // A calendar that never fully drains (replay cursors re-arm from
+      // inside their own callbacks, so the sharded runner's never does)
+      // would otherwise grow the run's dead prefix with every event ever
+      // executed. Sliding the tail left once the prefix passes half the
+      // vector is amortized O(1) per pop, keeps the buffer at ~2x the live
+      // run, and never reallocates — the alloc-guard suite pins that.
+      run_.erase(run_.begin(),
+                 run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
+      run_head_ = 0;
     }
     return;
   }
@@ -173,6 +188,20 @@ PSN_HOT std::size_t Scheduler::run_until(SimTime until) {
   // Time advances to `until` even if the calendar went quiet earlier, so a
   // subsequent schedule_after() measures from the end of the window.
   if (now_ < until) now_ = until;
+  return n;
+}
+
+PSN_HOT std::size_t Scheduler::run_until_before(SimTime fence) {
+  std::size_t n = 0;
+  for (const QueueKey* k = top(); k != nullptr && k->at < fence; k = top()) {
+    if (!slot_matches(*k)) {
+      pop_top();
+      tombstones_--;
+      continue;
+    }
+    execute_top(*k);
+    n++;
+  }
   return n;
 }
 

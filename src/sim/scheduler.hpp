@@ -30,11 +30,15 @@ class EventHandle {
 
 /// Deterministic discrete-event calendar.
 ///
-/// Events at equal timestamps fire in schedule order (FIFO tie-break by a
-/// monotonically increasing sequence number), so a run is a pure function of
-/// the seed and the configuration. Callbacks may schedule further events,
-/// including at the current instant (they will run after all callbacks
-/// already queued for that instant).
+/// Events at equal timestamps fire in (tie, schedule-order) order: the
+/// caller-supplied canonical tie-break `tie` (0 for plain timers) wins
+/// first, then a monotonically increasing sequence number breaks the
+/// remaining ties FIFO — so a run is a pure function of the seed and the
+/// configuration, *and* same-instant ordering can be made independent of
+/// which scheduler an event was placed in (the sharded driver keys message
+/// deliveries by their transport seq; DESIGN.md §14). Callbacks may schedule
+/// further events, including at the current instant (they will run after
+/// all callbacks already queued for that instant with an equal tie).
 ///
 /// Hot-path layout (DESIGN.md §11): callbacks live in a generation-tagged
 /// slab of slots recycled through a free list, and the calendar itself is
@@ -63,9 +67,15 @@ class Scheduler {
   /// Current simulation time; advances only inside run()/step().
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (>= now()).
+  /// Schedules `fn` at absolute time `at` (>= now()) with tie 0.
   EventHandle schedule_at(SimTime at, Callback fn);
-  /// Schedules `fn` after `delay` (>= 0) from now().
+  /// Schedules `fn` at `at` with an explicit canonical tie-break: events at
+  /// one instant fire in ascending (tie, schedule order). Timers use tie 0
+  /// (and therefore run before same-instant message deliveries, whose ties
+  /// are strictly positive) — a deliberate canonical policy, not an
+  /// accident of insertion order.
+  EventHandle schedule_at(SimTime at, std::uint64_t tie, Callback fn);
+  /// Schedules `fn` after `delay` (>= 0) from now(), tie 0.
   EventHandle schedule_after(Duration delay, Callback fn);
   /// Cancels a pending event. Cancelling an already-fired, stale, or invalid
   /// handle is a harmless no-op (the common case when a timer raced its
@@ -80,6 +90,10 @@ class Scheduler {
   bool step();
   /// Runs events with time <= `until` (inclusive); returns events executed.
   std::size_t run_until(SimTime until);
+  /// Runs events with time strictly < `fence`; returns events executed.
+  /// now() is left at the last executed event (never advanced to the
+  /// fence), so the sharded window driver can re-enter with a later fence.
+  std::size_t run_until_before(SimTime fence);
   /// Runs until the calendar drains or `max_events` executed.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
@@ -94,11 +108,13 @@ class Scheduler {
  private:
   struct QueueKey {
     SimTime at;
+    std::uint64_t tie;  ///< canonical same-instant rank (0 = plain timer)
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t generation;
     bool operator>(const QueueKey& o) const {
       if (at != o.at) return at > o.at;
+      if (tie != o.tie) return tie > o.tie;
       return seq > o.seq;
     }
   };

@@ -1,10 +1,45 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "common/error.hpp"
 
 namespace psn::sim {
+
+namespace {
+/// Rank of a record within its (at, seq) bucket: the message lifecycle.
+int co_instant_group(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSend:
+    case TraceKind::kDrop:
+    case TraceKind::kUnreachable:
+      return 0;
+    case TraceKind::kSense:
+      return 1;
+    case TraceKind::kDeliver:
+      return 2;
+    case TraceKind::kReceive:
+      return 3;
+    case TraceKind::kDetect:
+      return 4;
+  }
+  return 5;
+}
+
+auto canonical_key(const TraceRecord& r) {
+  return std::make_tuple(r.at, r.seq, co_instant_group(r.kind), r.peer, r.pid,
+                         static_cast<int>(r.kind));
+}
+}  // namespace
+
+void canonical_trace_order(std::vector<TraceRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return canonical_key(a) < canonical_key(b);
+                   });
+}
 
 const char* to_string(TraceKind k) {
   switch (k) {

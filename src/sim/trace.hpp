@@ -44,6 +44,20 @@ struct TraceRecord {
   std::uint64_t seq = 0;
 };
 
+/// Sorts `records` into the canonical co-instant order shared by every
+/// shard layout (DESIGN.md §14). Records are keyed by
+/// (at, seq, group, peer, pid, kind) where the group ranks a message's
+/// lifecycle within one instant: send/drop/unreachable, then the sense that
+/// produced the message, then delivery, then receive processing. Each
+/// message's lifecycle order (send before deliver before receive; sense
+/// between the fan-out and its deliveries) is preserved, so a canonical
+/// trace replays cleanly through psn::check. Both the serial (1-shard) path
+/// and the K-shard merge apply this sort, which is what makes the emitted
+/// JSONL byte-identical across layouts. kDetect records sort last at their
+/// instant; callers that append them after a post-run detector pass need
+/// not re-sort.
+void canonical_trace_order(std::vector<TraceRecord>& records);
+
 /// Bounded ring buffer of TraceRecords: when full, the oldest record is
 /// evicted, so memory is capped no matter how long the run is. `evicted()`
 /// says whether the retained window is complete — any analysis that needs

@@ -72,13 +72,17 @@ struct GoldenHashes {
   const char* trace_jsonl;
 };
 
-// --- fixtures: pre-optimization implementation, seed 1, 20 s horizon ---
+// --- fixtures: sharded-replay implementation, seed 1, 20 s horizon ---
+// (Regenerated for the Δ-windowed sharded runner: the occupancy harness now
+// pre-rolls the world timeline and replays it through per-source strided
+// message seqs and per-message keyed RNG, so seqs and delay draws — though
+// not the statistics — differ from the pre-sharding fixtures.)
 constexpr GoldenHashes kGolden[] = {
-    {"scalar", "471f3957e0466713", "9ea4f163c4ec572d", "fc78d5afcb64949"},
-    {"vector", "471f3957e0466713", "4c65bd9da942eebd", "f50546c005dc00a9"},
-    {"physical", "471f3957e0466713", "5a1f477ebcc59ebb", "f2e3f73d965ba805"},
+    {"scalar", "3525c69976669b4f", "1c050ad8b2dcc5a8", "568c147d55e48ff9"},
+    {"vector", "3525c69976669b4f", "76b49913ea5b7564", "43036b3f6b07edd2"},
+    {"physical", "3525c69976669b4f", "9d87f6f29ee17ec6", "d9ba76923126de8"},
 };
-constexpr const char* kGoldenSweepMetricsCsv = "11403998d35bca18";
+constexpr const char* kGoldenSweepMetricsCsv = "26f9be90481856f0";
 
 bool print_mode() { return std::getenv("PSN_GOLDEN_PRINT") != nullptr; }
 
@@ -141,6 +145,114 @@ INSTANTIATE_TEST_SUITE_P(Threads, GoldenDeterminismTest,
                          [](const ::testing::TestParamInfo<unsigned>& param) {
                            return std::to_string(param.param) + "threads";
                          });
+
+// --- the sharding acceptance bar (DESIGN.md §14) -------------------------
+//
+// One run config, every (shards × pool threads) shape, all three wire clock
+// modes: detections, the metrics snapshot CSV, and the trace JSONL must be
+// byte-identical to the 1-shard run of the same config — and the 1-shard
+// run itself is pinned so cross-session drift cannot hide behind the
+// self-comparison.
+
+struct ShardArtifacts {
+  std::string detections;
+  std::string metrics_csv;
+  std::string trace_jsonl;
+};
+
+ShardArtifacts artifacts_of(const OccupancyRunResult& run) {
+  return {hex64(fnv1a(detections_bytes(run))), hex64(fnv1a(run.metrics.csv())),
+          hex64(fnv1a(trace_jsonl(run.trace)))};
+}
+
+/// doors = 8 (9 processes) so the grid reaches 8 shards; shorter horizon —
+/// the grid multiplies runs 15×.
+OccupancyConfig shard_grid_config(net::ClockMode mode) {
+  OccupancyConfig cfg = stock(mode);
+  cfg.doors = 8;
+  cfg.horizon = Duration::seconds(10);
+  return cfg;
+}
+
+// Fixtures for the 1-shard doors = 8 reference runs (PSN_GOLDEN_PRINT=1).
+constexpr GoldenHashes kShardGolden[] = {
+    {"scalar", "3f97562eea96d162", "910eaae1d5c9c514", "71f135b78c164b17"},
+    {"vector", "3f97562eea96d162", "abf23d168a7508d0", "5a4bb6bc03156e12"},
+    {"physical", "3f97562eea96d162", "9f9d39dcd9c5ff54", "cd741b67313b5686"},
+};
+
+class ShardedGoldenTest : public ::testing::Test {};
+
+TEST(ShardedGoldenTest, ShardCountAndPoolSizeNeverChangeArtifacts) {
+  const net::ClockMode modes[] = {net::ClockMode::kScalarStrobe,
+                                  net::ClockMode::kVectorStrobe,
+                                  net::ClockMode::kPhysical};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const OccupancyConfig base = shard_grid_config(modes[i]);
+    const OccupancyRunResult ref_run = run_occupancy_experiment(base);
+    ASSERT_EQ(ref_run.trace_evicted, 0u);
+    const ShardArtifacts ref = artifacts_of(ref_run);
+    if (print_mode()) {
+      std::printf("    {\"%s\", \"%s\", \"%s\", \"%s\"},\n", kShardGolden[i].mode,
+                  ref.detections.c_str(), ref.metrics_csv.c_str(),
+                  ref.trace_jsonl.c_str());
+    } else {
+      EXPECT_EQ(ref.detections, kShardGolden[i].detections)
+          << kShardGolden[i].mode << ": 1-shard reference drifted";
+      EXPECT_EQ(ref.metrics_csv, kShardGolden[i].metrics_csv)
+          << kShardGolden[i].mode << ": 1-shard reference drifted";
+      EXPECT_EQ(ref.trace_jsonl, kShardGolden[i].trace_jsonl)
+          << kShardGolden[i].mode << ": 1-shard reference drifted";
+    }
+
+    struct Shape {
+      std::size_t shards;
+      std::size_t threads;
+    };
+    for (const Shape shape :
+         {Shape{2, 1}, Shape{2, 8}, Shape{8, 1}, Shape{8, 8}}) {
+      OccupancyConfig sharded = base;
+      sharded.shards = shape.shards;
+      sharded.shard_threads = shape.threads;
+      const OccupancyRunResult run = run_occupancy_experiment(sharded);
+      const ShardArtifacts got = artifacts_of(run);
+      const std::string where = std::string(kShardGolden[i].mode) + " @ " +
+                                std::to_string(shape.shards) + " shards × " +
+                                std::to_string(shape.threads) + " threads";
+      EXPECT_EQ(got.detections, ref.detections) << where << ": detections";
+      EXPECT_EQ(got.metrics_csv, ref.metrics_csv) << where << ": metrics";
+      EXPECT_EQ(got.trace_jsonl, ref.trace_jsonl) << where << ": trace";
+      EXPECT_GT(run.shard_windows, 0u) << where;
+    }
+  }
+}
+
+TEST(ShardedGoldenTest, ChurnHeavyConfigStaysIdenticalAcrossShards) {
+  // Loss draws, scheduled burst windows, and unaligned duty cycling all bend
+  // the per-message hot path (drops consume RNG draws; wake schedules warp
+  // arrival instants). None of it may depend on the shard count.
+  OccupancyConfig cfg = shard_grid_config(net::ClockMode::kVectorStrobe);
+  cfg.loss_probability = 0.3;
+  cfg.loss_windows.push_back({SimTime::zero() + Duration::seconds(2),
+                              SimTime::zero() + Duration::seconds(4)});
+  net::DutyCycle duty;
+  duty.period = Duration::millis(40);
+  duty.window = Duration::millis(25);
+  cfg.duty_cycle = duty;
+  cfg.duty_phases_aligned = false;
+
+  const OccupancyRunResult ref = run_occupancy_experiment(cfg);
+  const ShardArtifacts want = artifacts_of(ref);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    OccupancyConfig sharded = cfg;
+    sharded.shards = shards;
+    sharded.shard_threads = 4;
+    const ShardArtifacts got = artifacts_of(run_occupancy_experiment(sharded));
+    EXPECT_EQ(got.detections, want.detections) << shards << " shards";
+    EXPECT_EQ(got.metrics_csv, want.metrics_csv) << shards << " shards";
+    EXPECT_EQ(got.trace_jsonl, want.trace_jsonl) << shards << " shards";
+  }
+}
 
 }  // namespace
 }  // namespace psn::analysis

@@ -1,0 +1,174 @@
+// Window-barrier stress (`ctest -L par`; CI repeats the label under
+// -DPSN_SANITIZE=thread). Two layers:
+//
+//   1. The ShardedSimulation driver alone, fed a cancel-heavy workload —
+//      every shard tick schedules a decoy and cancels it, the duty-cycle
+//      wake re-plan pattern at full rate — across a real 8-thread pool,
+//      with cross-shard traffic through the outbox exchange every window.
+//      TSan's targets: the submit/future window barrier, the one-task-per-
+//      shard scheduler confinement, and the driver-thread-only exchange.
+//
+//   2. The full sharded occupancy system at 8 shards × 8 pool threads
+//      under unaligned duty cycling plus burst loss — run twice, artifacts
+//      must match byte for byte (a data race that perturbs event order
+//      shows up here as nondeterminism even when TSan is off).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "analysis/export.hpp"
+#include "common/sim_time.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulation.hpp"
+
+namespace psn::analysis {
+namespace {
+
+// --- 1. driver-level cancel storm ------------------------------------------
+
+struct StormShard {
+  sim::Simulation* sim = nullptr;
+  /// Outbox to the next shard (ring traffic): (arrival instant, payload).
+  std::vector<std::pair<SimTime, std::uint64_t>>* outbox = nullptr;
+  std::size_t remaining = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t received = 0;
+
+  void arm() {
+    if (remaining == 0) return;
+    --remaining;
+    sim->scheduler().schedule_after(
+        Duration::millis(1), sim::Scheduler::Callback([this] {
+          ++fired;
+          // The churn: plan a wake, immediately re-plan (cancel) it — twice.
+          sim::Scheduler& sched = sim->scheduler();
+          const sim::EventHandle a = sched.schedule_after(
+              Duration::millis(3), sim::Scheduler::Callback([] {}));
+          const sim::EventHandle b = sched.schedule_after(
+              Duration::millis(7), sim::Scheduler::Callback([] {}));
+          sched.cancel(a);
+          sched.cancel(b);
+          // Cross-shard send: arrives >= one window (5 ms) ahead, so the
+          // conservative-lookahead contract holds.
+          outbox->push_back({sched.now() + Duration::millis(5), fired});
+          arm();
+        }));
+  }
+};
+
+struct StormTotals {
+  std::uint64_t fired = 0;
+  std::uint64_t received = 0;
+  std::size_t events = 0;
+  std::size_t windows = 0;
+
+  bool operator==(const StormTotals& o) const {
+    return fired == o.fired && received == o.received && events == o.events &&
+           windows == o.windows;
+  }
+};
+
+StormTotals run_cancel_storm(std::size_t shards, std::size_t pool_threads,
+                             std::size_t ticks_per_shard) {
+  std::vector<std::unique_ptr<sim::Simulation>> sims;
+  std::vector<sim::Simulation*> raw;
+  std::vector<std::vector<std::pair<SimTime, std::uint64_t>>> outboxes(shards);
+  std::vector<StormShard> chains(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    sim::SimConfig cfg;
+    sims.push_back(std::make_unique<sim::Simulation>(cfg));
+    raw.push_back(sims.back().get());
+    chains[s].sim = raw[s];
+    chains[s].outbox = &outboxes[s];
+    chains[s].remaining = ticks_per_shard;
+    chains[s].arm();
+  }
+
+  sim::ShardedSimulation::Config cfg;
+  cfg.window = Duration::millis(5);
+  cfg.horizon = SimTime::zero() +
+                Duration::millis(static_cast<std::int64_t>(ticks_per_shard) + 16);
+  cfg.pool_threads = pool_threads;
+  sim::ShardedSimulation driver(raw, cfg);
+
+  const auto exchange = [&]() -> std::size_t {
+    std::size_t moved = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      StormShard& dst = chains[(s + 1) % shards];  // ring traffic
+      for (const auto& [at, payload] : outboxes[s]) {
+        dst.sim->scheduler().schedule_at(
+            at, payload, sim::Scheduler::Callback([&dst] { ++dst.received; }));
+        ++moved;
+      }
+      outboxes[s].clear();
+    }
+    return moved;
+  };
+
+  StormTotals totals;
+  totals.events = driver.run(exchange);
+  totals.windows = driver.windows();
+  for (const StormShard& c : chains) {
+    totals.fired += c.fired;
+    totals.received += c.received;
+  }
+  return totals;
+}
+
+TEST(ShardedStressTest, CancelStormAcrossWindowBarrierIsLosslessAndRepeatable) {
+  const std::size_t kShards = 8;
+  const std::size_t kTicks = 400;
+  const StormTotals par = run_cancel_storm(kShards, 8, kTicks);
+  // Every tick fired, every cross-shard send arrived, nothing double-ran.
+  EXPECT_EQ(par.fired, kShards * kTicks);
+  EXPECT_EQ(par.received, kShards * kTicks);
+  EXPECT_GT(par.windows, kTicks / 5);
+  // The pool must not change anything the serial driver would have done —
+  // including the executed-event count (cancelled decoys never execute).
+  const StormTotals serial = run_cancel_storm(kShards, 1, kTicks);
+  EXPECT_TRUE(par == serial) << "pooled run diverged from inline run";
+  // And a second pooled run must reproduce the first exactly.
+  EXPECT_TRUE(run_cancel_storm(kShards, 8, kTicks) == par);
+}
+
+// --- 2. system-level duty churn at full fan-out -----------------------------
+
+TEST(ShardedStressTest, DutyChurnSystemRunIsByteIdenticalAcrossRepeats) {
+  OccupancyConfig cfg;
+  cfg.doors = 16;
+  cfg.horizon = Duration::seconds(8);
+  cfg.trace_capacity = 1 << 18;
+  cfg.loss_probability = 0.2;
+  cfg.loss_windows.push_back({SimTime::zero() + Duration::seconds(2),
+                              SimTime::zero() + Duration::seconds(3)});
+  net::DutyCycle duty;
+  duty.period = Duration::millis(20);
+  duty.window = Duration::millis(10);
+  cfg.duty_cycle = duty;
+  cfg.duty_phases_aligned = false;
+  cfg.shards = 8;
+  cfg.shard_threads = 8;
+
+  const OccupancyRunResult first = run_occupancy_experiment(cfg);
+  ASSERT_EQ(first.trace_evicted, 0u);
+  EXPECT_GT(first.shard_windows, 0u);
+  const OccupancyRunResult second = run_occupancy_experiment(cfg);
+  EXPECT_EQ(trace_jsonl(first.trace), trace_jsonl(second.trace));
+  EXPECT_EQ(first.metrics.csv(), second.metrics.csv());
+  ASSERT_EQ(first.outcomes.size(), second.outcomes.size());
+  for (std::size_t i = 0; i < first.outcomes.size(); ++i) {
+    EXPECT_EQ(detections_table(first.outcomes[i].detections).csv(),
+              detections_table(second.outcomes[i].detections).csv())
+        << first.outcomes[i].detector;
+  }
+}
+
+}  // namespace
+}  // namespace psn::analysis

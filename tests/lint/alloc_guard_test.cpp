@@ -10,7 +10,7 @@
 // container that stopped recycling, a std::string born in a loop — fails
 // here immediately, on the exact path that regressed.
 //
-// Pinned paths (one test each, plus an 8-thread repeat of all four):
+// Pinned paths (one test each, plus an 8-thread repeat of all five):
 //   1. Scheduler schedule→pop round trip (slab slots + monotone run reuse).
 //   2. Transport broadcast fan-out: delivery executes allocation-free and
 //      the schedule phase's allocation count is independent of fan-out N
@@ -23,6 +23,8 @@
 //      mode — with a bounded retention window (PoolArena recycles the
 //      matching working set). Bound mode is NOT pinned: replaying claimed
 //      executions retains a full VectorStamp per send entry by design.
+//   5. The Δ-windowed shard driver (DESIGN.md §14): window loop, outbox
+//      traffic, and fence exchange recycle everything once warm.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -46,6 +48,7 @@
 #include "net/message.hpp"
 #include "net/overlay.hpp"
 #include "net/transport.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 
@@ -288,10 +291,100 @@ TEST(AllocGuard, StreamCheckerTraceOnlyFeedIsAllocationFree) {
   EXPECT_EQ(allocs, 0u);
 }
 
+// --- 5. sharded window driver ----------------------------------------------
+
+// The Δ-windowed shard machinery (DESIGN.md §14) in steady state: per-shard
+// timer chains that emit cross-shard traffic into outboxes, drained at every
+// fence by the exchange hook. Once the schedulers' slabs and the outbox
+// vectors reach their peak capacity, a whole measured run — schedule, fire,
+// outbox push, exchange, inject — must never touch the allocator. The
+// driver runs inline (pool_threads = 1: the counters are thread-local), as
+// the ShardedSimulation contract documents; the transport delivery path the
+// exchange replays is pinned separately by the broadcast tests above.
+
+struct WindowChain {
+  sim::Scheduler* sched = nullptr;
+  std::vector<std::pair<SimTime, std::uint64_t>>* outbox = nullptr;
+  std::size_t remaining = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t received = 0;
+
+  void arm() {
+    if (remaining == 0) return;
+    --remaining;
+    sched->schedule_after(
+        Duration::millis(1), sim::Scheduler::Callback([this] {
+          ++fired;
+          outbox->push_back({sched->now() + Duration::millis(5), fired});
+          arm();
+        }));
+  }
+};
+
+std::uint64_t sharded_window_allocs(std::size_t ticks, std::uint64_t* fired_out) {
+  constexpr std::size_t kShards = 4;
+  std::vector<std::unique_ptr<sim::Simulation>> sims;
+  std::vector<sim::Simulation*> raw;
+  std::vector<std::vector<std::pair<SimTime, std::uint64_t>>> outboxes(kShards);
+  std::vector<WindowChain> chains(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    sim::SimConfig cfg;
+    sims.push_back(std::make_unique<sim::Simulation>(cfg));
+    raw.push_back(sims.back().get());
+    chains[s].sched = &sims.back()->scheduler();
+    chains[s].outbox = &outboxes[s];
+  }
+  const auto exchange = [&]() -> std::size_t {
+    std::size_t moved = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      WindowChain& dst = chains[(s + 1) % kShards];
+      for (const auto& [at, payload] : outboxes[s]) {
+        dst.sched->schedule_at(
+            at, payload, sim::Scheduler::Callback([&dst] { ++dst.received; }));
+        ++moved;
+      }
+      outboxes[s].clear();
+    }
+    return moved;
+  };
+  const auto drive = [&](std::size_t n) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      chains[s].remaining = n;
+      chains[s].arm();
+    }
+    sim::ShardedSimulation::Config cfg;
+    cfg.window = Duration::millis(5);
+    cfg.horizon = chains[0].sched->now() +
+                  Duration::millis(static_cast<std::int64_t>(n) + 16);
+    cfg.pool_threads = 1;
+    return sim::ShardedSimulation(raw, cfg);
+  };
+
+  // Warmup: one full drive reaches peak calendar + outbox capacity.
+  {
+    sim::ShardedSimulation warm = drive(256);
+    warm.run(exchange);
+  }
+  sim::ShardedSimulation driver = drive(ticks);
+  Scope scope;
+  driver.run(exchange);
+  std::uint64_t fired = 0;
+  for (const WindowChain& c : chains) fired += c.fired;
+  if (fired_out != nullptr) *fired_out = fired;
+  return scope.allocations();
+}
+
+TEST(AllocGuard, ShardedWindowSteadyStateIsAllocationFree) {
+  std::uint64_t fired = 0;
+  const std::uint64_t allocs = sharded_window_allocs(2'000, &fired);
+  EXPECT_EQ(fired, 4u * (256 + 2'000));  // warmup + measured, all shards
+  EXPECT_EQ(allocs, 0u);
+}
+
 // --- 8-thread repeat -------------------------------------------------------
 
 // Counters are thread-local, so each thread independently asserts zero for
-// its own workload; the four paths run concurrently to shake out any hidden
+// its own workload; the five paths run concurrently to shake out any hidden
 // shared-state allocation (there must be none — these paths are all
 // per-run/per-session state by design).
 TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
@@ -302,7 +395,7 @@ TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
   for (int t = 0; t < kThreads; t++) {
     threads.emplace_back([t, &allocs] {
       std::uint64_t total = 0;
-      switch (t % 4) {
+      switch (t % 5) {
         case 0:
           total = scheduler_steady_allocs(2'000);
           break;
@@ -314,6 +407,9 @@ TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
           break;
         case 3:
           total = stream_checker_feed_allocs(256, nullptr);
+          break;
+        case 4:
+          total = sharded_window_allocs(512, nullptr);
           break;
       }
       allocs[static_cast<std::size_t>(t)] = total;

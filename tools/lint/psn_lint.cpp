@@ -313,7 +313,12 @@ const std::vector<std::string_view> kDeterminismDirs = {
 const std::vector<std::string_view> kOutputFeedingPaths = {
     "src/analysis/export", "src/analysis/sweep", "src/common/metrics",
     "src/common/table",    "src/sim/trace",      "src/check/",
-    "src/serve/",          "src/core/lattice"};
+    "src/serve/",          "src/core/lattice",
+    // The sharded runner's merge paths (outbox exchange, root-log merge,
+    // trace concatenation) define cross-shard event order — hash-order
+    // iteration there would make results depend on the process, not the
+    // seed (DESIGN.md §14).
+    "src/sim/sharded", "src/core/sharded_system", "src/net/shard_map"};
 
 const std::vector<std::string_view> kLocaleSafeDirs = {"src/serve/",
                                                        "src/analysis/export"};
