@@ -28,12 +28,20 @@
 //     --lean-clocks      drop O(n) vector clocks (city scale)
 //     --unicast          sense reports unicast to the root, not broadcast
 //     --fifo             per-channel FIFO delivery (unsharded only)
+//     --faults SPEC      deterministic fault plan: `;`-separated clauses
+//                          crash:<pid>@<begin_s>+<dur_s>
+//                          cut:<a>-<b>@<begin_s>+<dur_s>
+//                          drift:<pid>@<begin_s>+<dur_s>:<ppm>
+//                        e.g. --faults 'crash:2@10+5;cut:1-3@20+4'
+//     --ge A,B,C,D       Gilbert–Elliott burst loss (unsharded only):
+//                        P(good→bad), P(bad→good), loss in good, loss in bad
 //
 // run-only:  --reps N --threads N --csv PATH --metrics --trace PATH
 //            --trace-cap N
 // check-only: --trace-cap N
 // serve-only: --procs N --retention MS --metrics-every N --lenient
 //             --listen PORT|UNIX-PATH --max-streams N --max-buffer BYTES
+//             --idle-timeout SECS
 //
 // Exit codes: 0 ok · 1 violations · 2 usage/config error · 3 stream input
 // rejected (serve) · 4 trace ring truncated under check. Multi-stream serve
@@ -72,6 +80,7 @@
 #include "common/table.hpp"
 #include "serve/listener.hpp"
 #include "serve/soak_server.hpp"
+#include "sim/fault.hpp"
 
 namespace {
 
@@ -104,6 +113,8 @@ struct CliOptions {
   bool lean_clocks = false;
   bool unicast = false;
   bool fifo = false;
+  std::string faults;  // fault-plan spec (sim::parse_fault_plan grammar)
+  std::string ge;      // Gilbert–Elliott params "g2b,b2g,loss_good,loss_bad"
   bool check = false;  // legacy flat-flag form only
 };
 
@@ -122,7 +133,10 @@ void print_shared_usage() {
       "    [--mode scalar|vector|physical] [--validity MS]\n"
       "    [--shards K] [--shard-threads N]\n"
       "    [--topology complete|star|ring|line]\n"
-      "    [--lean-clocks] [--unicast] [--fifo]\n");
+      "    [--lean-clocks] [--unicast] [--fifo]\n"
+      "    [--faults 'crash:<pid>@<s>+<s>;cut:<a>-<b>@<s>+<s>;"
+      "drift:<pid>@<s>+<s>:<ppm>']\n"
+      "    [--ge g2b,b2g,loss_good,loss_bad]\n");
 }
 
 [[noreturn]] void print_usage_and_exit() {
@@ -143,7 +157,7 @@ void print_shared_usage() {
       "         [--procs N] [--retention MS] [--validity MS]\n"
       "         [--metrics-every N] [--lenient]\n"
       "         [--listen PORT|UNIX-PATH] [--max-streams N]\n"
-      "         [--max-buffer BYTES]\n\n");
+      "         [--max-buffer BYTES] [--idle-timeout SECS]\n\n");
   print_shared_usage();
   std::printf(
       "\nexit codes: 0 ok, 1 violations, 2 usage/config error,\n"
@@ -203,6 +217,10 @@ CliOptions parse_cli(const std::vector<std::string>& args, Command cmd) {
       opt.unicast = true;
     } else if (flag == "--fifo") {
       opt.fifo = true;
+    } else if (flag == "--faults") {
+      opt.faults = value();
+    } else if (flag == "--ge") {
+      opt.ge = value();
     } else if (flag == "--trace-cap") {
       const long long cap = std::atoll(value().c_str());
       if (cap <= 0) usage_error("--trace-cap must be > 0");
@@ -301,6 +319,35 @@ analysis::OccupancyConfig occupancy_config_of(const CliOptions& opt) {
     usage_error("unknown scenario '" + opt.scenario + "'");
   }
   if (!opt.topology.empty()) cfg.topology = topology_of(opt.topology);
+  if (!opt.faults.empty()) {
+    try {
+      cfg.faults = sim::parse_fault_plan(opt.faults);
+    } catch (const ConfigError& e) {
+      usage_error(e.what());
+    }
+  }
+  if (!opt.ge.empty()) {
+    double v[4];
+    std::size_t pos = 0;
+    for (int i = 0; i < 4; i++) {
+      const std::size_t comma = opt.ge.find(',', pos);
+      if ((comma == std::string::npos) != (i == 3)) {
+        usage_error("--ge wants four comma-separated probabilities "
+                    "g2b,b2g,loss_good,loss_bad");
+      }
+      v[i] = std::atof(opt.ge.substr(pos, comma - pos).c_str());
+      if (v[i] < 0.0 || v[i] > 1.0) {
+        usage_error("--ge probabilities must be in [0, 1]");
+      }
+      pos = comma + 1;
+    }
+    core::SystemConfig::GilbertElliottParams params;
+    params.p_good_to_bad = v[0];
+    params.p_bad_to_good = v[1];
+    params.loss_in_good = v[2];
+    params.loss_in_bad = v[3];
+    cfg.gilbert_elliott = params;
+  }
   return cfg;
 }
 
@@ -462,6 +509,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::string listen;
   std::size_t max_streams = 64;
   std::size_t max_buffer = std::size_t{1} << 16;
+  double idle_timeout_secs = 0.0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag == "--help" || flag == "-h") print_usage_and_exit();
@@ -497,9 +545,15 @@ int cmd_serve(const std::vector<std::string>& args) {
       const long long n = std::atoll(value().c_str());
       if (n <= 0) usage_error("--max-buffer must be > 0 bytes");
       max_buffer = static_cast<std::size_t>(n);
+    } else if (flag == "--idle-timeout") {
+      idle_timeout_secs = std::atof(value().c_str());
+      if (idle_timeout_secs <= 0) usage_error("--idle-timeout must be > 0 s");
     } else {
       usage_error("unknown flag " + flag + " for serve");
     }
+  }
+  if (idle_timeout_secs > 0 && listen.empty()) {
+    usage_error("--idle-timeout needs --listen (stdin mode has one stream)");
   }
   if (!listen.empty()) {
     serve::ListenerConfig listener_cfg;
@@ -507,6 +561,8 @@ int cmd_serve(const std::vector<std::string>& args) {
     listener_cfg.max_streams = max_streams;
     listener_cfg.session = cfg;
     listener_cfg.max_line_bytes = max_buffer;
+    listener_cfg.idle_timeout_ms =
+        static_cast<std::int64_t>(idle_timeout_secs * 1000.0);
     try {
       serve::Listener listener(listener_cfg, std::cout);
       listener.open();

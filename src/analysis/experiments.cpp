@@ -37,6 +37,21 @@ void validate(const OccupancyConfig& config) {
   if (config.loss_probability < 0.0 || config.loss_probability > 1.0) {
     throw ConfigError("OccupancyConfig: loss_probability must be in [0, 1]");
   }
+  if (config.gilbert_elliott) {
+    const auto& ge = *config.gilbert_elliott;
+    for (const double p : {ge.p_good_to_bad, ge.p_bad_to_good, ge.loss_in_good,
+                           ge.loss_in_bad}) {
+      if (p < 0.0 || p > 1.0) {
+        throw ConfigError(
+            "OccupancyConfig: Gilbert-Elliott parameters must be in [0, 1]");
+      }
+    }
+    if (config.shards > 1) {
+      throw ConfigError(
+          "OccupancyConfig: Gilbert-Elliott loss advances per transmission "
+          "and is not shard-stable; use loss_windows or run with --shards 1");
+    }
+  }
   if (config.duty_cycle) {
     if (config.duty_cycle->period <= Duration::zero() ||
         config.duty_cycle->window <= Duration::zero() ||
@@ -111,6 +126,8 @@ OccupancyRunResult run_occupancy_experiment(
   sys.topology = config.topology;
   sys.loss_probability = config.loss_probability;
   sys.loss_windows = config.loss_windows;
+  sys.gilbert_elliott = config.gilbert_elliott;
+  sys.faults = config.faults;
   sys.duty_cycle = config.duty_cycle;
   sys.duty_phases_aligned = config.duty_phases_aligned;
   sys.fifo_channels = config.fifo_channels;
@@ -217,6 +234,10 @@ OccupancyRunResult run_occupancy_experiment(
     }
     check::CheckOptions check_options;
     check_options.validity_horizon = config.validity_horizon;
+    // trace_records() already merged the schedule's fault records into the
+    // canonical order; the options pointer lets the drift contract subtract
+    // declared clock faults exactly.
+    check_options.faults = system.faults();
     check::RunInputs inputs;
     inputs.num_processes = system.num_processes();
     inputs.sync_epsilon = sys.clock_config.sync_epsilon;
@@ -264,15 +285,17 @@ OccupancyRunResult run_occupancy_experiment(
     result.outcomes.push_back(std::move(out));
   }
 
-  // Δ-race audit: under lossless Δ-bounded delivery with no duty cycling,
-  // races are the *only* admissible cause of confident detector errors
-  // (paper §5) — so each FP/FN must have a race to blame, and an
-  // unexplained one is a checker violation.
+  // Δ-race audit: under Δ-bounded delivery with a complete trace window,
+  // every confident detector error must have an admissible cause — a Δ/2ε
+  // race (paper §5), or a recorded fault: a dropped root-bound report, a
+  // crash or partition window, a duty-cycle deferral past Δ, an expired
+  // validity horizon (DESIGN.md §15). An error none of those cover is a
+  // checker violation. Lossy, faulty, and duty-cycled runs audit at full
+  // strictness — their non-race causes are in the trace, not excuses.
   if (result.check) {
     const bool audit_eligible =
         config.delay_kind == core::DelayKind::kUniformBounded &&
-        config.loss_probability == 0.0 && config.loss_windows.empty() &&
-        !config.duty_cycle && result.check->trace_evicted == 0;
+        result.check->trace_evicted == 0;
     if (audit_eligible) {
       check::RaceScanConfig delta_scan;
       delta_scan.window = result.delta_bound;
@@ -282,6 +305,10 @@ OccupancyRunResult run_occupancy_experiment(
       eps_scan.window = config.sync_epsilon * 2;
       const std::vector<check::RaceEvent> eps_races =
           check::scan_races(system.log(), eps_scan);
+      check::FaultSpanConfig span_cfg;
+      span_cfg.delta_bound = result.delta_bound;
+      const std::vector<check::FaultSpan> fault_spans =
+          check::collect_fault_spans(result.trace, system.log(), span_cfg);
       check::AuditConfig audit;
       audit.slack = score_cfg.tolerance;
       for (const DetectorOutcome& out : result.outcomes) {
@@ -289,7 +316,7 @@ OccupancyRunResult run_occupancy_experiment(
         // race window is 2ε; the delivery/strobe detectors resolve down to Δ.
         const bool physical = out.detector == "physical-eps";
         result.check->add_contract(check::audit_detector(
-            out.detector, physical ? eps_races : delta_races,
+            out.detector, physical ? eps_races : delta_races, fault_spans,
             out.score.fp_cause_times, out.score.fn_occurrence_times, audit));
       }
     }

@@ -11,6 +11,7 @@
 #include "common/validated.hpp"
 #include "core/system.hpp"
 #include "net/transport.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "world/scenarios.hpp"
 
@@ -32,6 +33,18 @@ struct OccupancyConfig {
   Duration sync_epsilon = Duration::micros(100);
   double loss_probability = 0.0;
   std::vector<net::ScheduledBurstLoss::Window> loss_windows;
+
+  /// Optional Gilbert–Elliott burst-loss channel (stateful per transmission
+  /// order; validate() rejects it with shards > 1 — use loss_windows for
+  /// shard-stable bursts).
+  std::optional<core::SystemConfig::GilbertElliottParams> gilbert_elliott;
+
+  /// Deterministic fault plan (sim/fault, DESIGN.md §15): crash/restart
+  /// windows, overlay partition windows, clock-fault drift spikes. The plan
+  /// is validated against the topology when the system is built; every
+  /// injected fault emits trace records, and with `check` on the audit
+  /// attributes detector errors to the recorded faults.
+  sim::FaultPlan faults;
 
   Duration horizon = Duration::seconds(60);
   std::uint64_t seed = 1;

@@ -26,6 +26,8 @@ const char* to_string(ViolationKind k) {
     case ViolationKind::kUnexplainedFalseNegative:
       return "unexplained-false-negative";
     case ViolationKind::kStaleObservation: return "stale-observation";
+    case ViolationKind::kFaultPairing: return "fault-pairing";
+    case ViolationKind::kActivityWhileDown: return "activity-while-down";
   }
   return "?";
 }
@@ -154,12 +156,24 @@ RunInputs inputs_from(const core::PervasiveSystem& system) {
   }
   in.trace = trace->records();
   in.trace_evicted = trace->evicted();
+  if (system.faults() != nullptr) {
+    // The serial system never emits fault records live (they would ride the
+    // trace ring and could evict real message records); synthesize them here
+    // and restore the canonical order so the checker sees one merged stream.
+    system.faults()->append_trace_records(in.trace,
+                                          system.config().sim.horizon);
+    sim::canonical_trace_order(in.trace);
+  }
   return in;
 }
 
 CheckReport check_system(const core::PervasiveSystem& system,
                          const CheckOptions& options) {
-  return check_run(inputs_from(system), options);
+  CheckOptions opts = options;
+  // Compensate declared clock faults automatically when the caller did not
+  // supply a schedule of their own.
+  if (opts.faults == nullptr) opts.faults = system.faults();
+  return check_run(inputs_from(system), opts);
 }
 
 }  // namespace psn::check

@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "core/event.hpp"
 #include "core/observation.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace psn::core {
@@ -48,9 +49,11 @@ enum class ViolationKind : std::uint8_t {
   kStrobeUnsoundOrder,    ///< strobe order contradicts true-time order
   kEpsilonBound,          ///< ε-synchronized reading out of bound
   kDriftBound,            ///< local clock outside its drift envelope
-  kUnexplainedFalsePositive,  ///< detector FP with no Δ/2ε race to blame
-  kUnexplainedFalseNegative,  ///< detector FN with no Δ/2ε race to blame
+  kUnexplainedFalsePositive,  ///< detector FP no race/fault/horizon explains
+  kUnexplainedFalseNegative,  ///< detector FN no race/fault/horizon explains
   kStaleObservation,  ///< observation delivered after its validity horizon
+  kFaultPairing,      ///< malformed crash/restart or partition/heal pairing
+  kActivityWhileDown,  ///< activity from (or delivery to) a crashed process
 };
 
 const char* to_string(ViolationKind k);
@@ -119,6 +122,12 @@ struct CheckOptions {
   /// (kStaleObservation under the "validity-horizon" contract). Unbounded by
   /// default, which keeps the report shape byte-identical to the original.
   core::ValidityHorizon validity_horizon;
+  /// The run's declared fault schedule (DESIGN.md §15), if any. The
+  /// physical-drift contract then subtracts the schedule's deterministic
+  /// injected offset before testing the envelope — declared clock faults
+  /// are compensated exactly, never excused by widening the bound. Must
+  /// outlive the check. nullptr = no declared faults.
+  const sim::FaultSchedule* faults = nullptr;
 };
 
 /// Thrown when the trace ring evicted records and the options forbid the

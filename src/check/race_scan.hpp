@@ -8,6 +8,7 @@
 #include "common/sim_time.hpp"
 #include "common/types.hpp"
 #include "core/observation.hpp"
+#include "sim/trace.hpp"
 
 namespace psn::check {
 
@@ -45,23 +46,86 @@ struct RaceScanConfig {
 std::vector<RaceEvent> scan_races(const core::ObservationLog& log,
                                   const RaceScanConfig& config);
 
+/// One interval during which a recorded fault (or its aftermath) can
+/// legitimately mislead the root's detectors: the information the root is
+/// missing — or holding stale — dates from `begin` and is repaired (next
+/// good delivery of the affected attribute) at `end`. SimTime::max() means
+/// the run ended before repair. Intervals are in true time, like race spans.
+struct FaultSpan {
+  enum class Cause : std::uint8_t {
+    kDrop,          ///< a root-bound report was lost or unroutable
+    kCrash,         ///< the reporter was inside a crash window
+    kPartition,     ///< an overlay partition window was open
+    kStale,         ///< the last report's validity horizon expired
+    kLateDelivery,  ///< a report arrived later than the Δ bound (duty defer)
+  };
+
+  SimTime begin;
+  SimTime end;
+  /// Reporter whose observations the span invalidates (kNoProcess = any —
+  /// used by partition-window spans, where the cut can reroute or delay
+  /// traffic from any process).
+  ProcessId reporter = kNoProcess;
+  Cause cause = Cause::kDrop;
+};
+
+const char* to_string(FaultSpan::Cause c);
+
+struct FaultSpanConfig {
+  /// End-to-end delay bound Δ: a report delivered later than
+  /// sense + delta_bound opens a kLateDelivery span (duty-cycle deferrals).
+  /// Duration::max() disables the late-delivery rule.
+  Duration delta_bound = Duration::max();
+};
+
+/// Derives the loss/fault attribution intervals of one finished run from its
+/// canonical trace and the root's observation log (DESIGN.md §15):
+///
+///  - every root-bound kDrop/kUnreachable of a strobe opens a span at the
+///    originating sense, healed by the next delivered report of the same
+///    (reporter, attribute) carrying newer information;
+///  - every kCrash..kRestart window opens one span per attribute the node
+///    reports, healed by the first post-restart delivery of that attribute
+///    (world changes during the window were never sensed at all);
+///  - every kPartition..kHeal window is one any-reporter span;
+///  - a bounded validity horizon opens a kStale span from each report's
+///    expiry to the next delivery of that (reporter, attribute);
+///  - a delivery beyond the Δ bound opens a kLateDelivery span from its
+///    sense to its delivery.
+///
+/// Returns spans sorted by begin. The list is empty for a clean lossless
+/// run, in which case the audit below degenerates to the pure race audit.
+std::vector<FaultSpan> collect_fault_spans(
+    const std::vector<sim::TraceRecord>& trace,
+    const core::ObservationLog& log, const FaultSpanConfig& config);
+
 struct AuditConfig {
   /// An error at true time t is explained by a race whose true-time span
-  /// [true_a - slack, true_b + slack] contains t.
+  /// [true_a - slack, true_b + slack] contains t (and likewise for fault
+  /// spans).
   Duration slack = Duration::zero();
   /// When true, every unexplained confident error becomes a violation
-  /// (kUnexplainedFalsePositive / kUnexplainedFalseNegative). Only sound for
-  /// runs where races are the sole possible error source: lossless transport,
-  /// bounded delay, no duty-cycling, untruncated scoring window.
+  /// (kUnexplainedFalsePositive / kUnexplainedFalseNegative). Sound whenever
+  /// every non-race error source is visible to the audit: Δ-bounded delay
+  /// plus an untruncated trace window, with losses, crashes, partitions,
+  /// duty deferrals, and expired horizons supplied as fault spans.
   bool strict = true;
   std::size_t max_recorded_violations = 16;
 };
 
-/// Cross-checks one detector's confident errors against the scanned races:
-/// each false positive (by cause true time) and false negative (by missed
-/// occurrence start) must fall inside some race span. Returns a
-/// ContractResult named "race-audit." + detector; feed it to
-/// CheckReport::add_contract.
+/// Cross-checks one detector's confident errors against the scanned races
+/// and the run's fault spans: each false positive (by cause true time) and
+/// false negative (by missed occurrence start) must fall inside some race or
+/// fault span. Returns a ContractResult named "race-audit." + detector; feed
+/// it to CheckReport::add_contract.
+ContractResult audit_detector(const std::string& detector,
+                              const std::vector<RaceEvent>& races,
+                              const std::vector<FaultSpan>& fault_spans,
+                              const std::vector<SimTime>& fp_cause_times,
+                              const std::vector<SimTime>& fn_occurrence_times,
+                              const AuditConfig& config);
+
+/// Fault-oblivious form (lossless runs): audits against races alone.
 ContractResult audit_detector(const std::string& detector,
                               const std::vector<RaceEvent>& races,
                               const std::vector<SimTime>& fp_cause_times,

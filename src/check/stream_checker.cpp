@@ -43,6 +43,9 @@ StreamChecker::StreamChecker(const StreamCheckerConfig& config)
   epsilon_.contract = "physical-epsilon";
   drift_.contract = "physical-drift";
   validity_.contract = "validity-horizon";
+  fault_.contract = "fault-model";
+  down_.resize(cfg_.num_processes, 0);
+  cut_edges_.reserve(8);
 }
 
 void StreamChecker::add(ContractResult& c, CheckViolation v) {
@@ -57,7 +60,7 @@ std::size_t StreamChecker::violations_so_far() const {
   std::size_t n = 0;
   for (const ContractResult* c :
        {&hb_, &lamport_, &vector_, &strobe_scalar_, &strobe_vector_,
-        &soundness_, &epsilon_, &drift_, &validity_}) {
+        &soundness_, &epsilon_, &drift_, &validity_, &fault_}) {
     n += c->violations_total;
   }
   return n;
@@ -72,6 +75,21 @@ PSN_HOT std::optional<CheckViolation> StreamChecker::feed(
   // timestamps to the causing sense), so they neither advance the eviction
   // clock nor participate in matching.
   if (record.kind != sim::TraceKind::kDetect) evict_expired(record.at);
+
+  // Fault records are mode-independent: they drive the crash/partition
+  // replay (fault-model contract) whether or not executions are bound.
+  switch (record.kind) {
+    case sim::TraceKind::kCrash:
+    case sim::TraceKind::kRestart:
+    case sim::TraceKind::kPartition:
+    case sim::TraceKind::kHeal:
+      on_fault_record(record);
+      in_feed_ = false;
+      return std::exchange(feed_violation_, std::nullopt);
+    default:
+      break;
+  }
+  if (saw_fault_records_) check_down_activity(record);
 
   if (bound()) {
     switch (record.kind) {
@@ -97,6 +115,10 @@ PSN_HOT std::optional<CheckViolation> StreamChecker::feed(
       case sim::TraceKind::kDrop:
       case sim::TraceKind::kUnreachable:
       case sim::TraceKind::kDetect:
+      case sim::TraceKind::kCrash:
+      case sim::TraceKind::kRestart:
+      case sim::TraceKind::kPartition:
+      case sim::TraceKind::kHeal:  // fault kinds returned above
         break;
     }
   } else {
@@ -177,12 +199,95 @@ PSN_HOT std::optional<CheckViolation> StreamChecker::feed(
         }
         break;
       case sim::TraceKind::kDetect:
+      case sim::TraceKind::kCrash:
+      case sim::TraceKind::kRestart:
+      case sim::TraceKind::kPartition:
+      case sim::TraceKind::kHeal:  // fault kinds returned above
         break;
     }
   }
 
   in_feed_ = false;
   return std::exchange(feed_violation_, std::nullopt);
+}
+
+/// Replays one fault record into the down/cut state, flagging malformed
+/// pairings: crashes must alternate with restarts per process, cuts with
+/// heals per edge. A forged or re-ordered fault stream fails here instead
+/// of silently excusing detector errors downstream.
+void StreamChecker::on_fault_record(const sim::TraceRecord& r) {
+  saw_fault_records_ = true;
+  fault_.events_checked++;
+  if (r.pid >= down_.size()) down_.resize(r.pid + 1, 0);
+  switch (r.kind) {
+    case sim::TraceKind::kCrash:
+      if (down_[r.pid] != 0) {
+        add(fault_, {ViolationKind::kFaultPairing, r.pid, 0, 0, r.at,
+                     "crash record for a process that is already down"});
+      }
+      down_[r.pid] = 1;
+      break;
+    case sim::TraceKind::kRestart:
+      if (down_[r.pid] == 0) {
+        add(fault_, {ViolationKind::kFaultPairing, r.pid, 0, 0, r.at,
+                     "restart record for a process that was not down"});
+      }
+      down_[r.pid] = 0;
+      break;
+    case sim::TraceKind::kPartition: {
+      const std::pair<ProcessId, ProcessId> edge{std::min(r.pid, r.peer),
+                                                 std::max(r.pid, r.peer)};
+      const auto it = std::find(cut_edges_.begin(), cut_edges_.end(), edge);
+      if (it != cut_edges_.end()) {
+        add(fault_, {ViolationKind::kFaultPairing, r.pid, 0, 0, r.at,
+                     "partition record for an edge that is already cut"});
+      } else {
+        cut_edges_.push_back(edge);
+      }
+      break;
+    }
+    case sim::TraceKind::kHeal: {
+      const std::pair<ProcessId, ProcessId> edge{std::min(r.pid, r.peer),
+                                                 std::max(r.pid, r.peer)};
+      const auto it = std::find(cut_edges_.begin(), cut_edges_.end(), edge);
+      if (it == cut_edges_.end()) {
+        add(fault_, {ViolationKind::kFaultPairing, r.pid, 0, 0, r.at,
+                     "heal record for an edge that was not cut"});
+      } else {
+        cut_edges_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// With the crash replay live, a down process must be silent: no sense or
+/// send from it, no delivery or receive processed at it — the transport
+/// contract says those are dropped. Drop/unreachable records are fine (that
+/// is the fault doing its job), as are deliveries to *other* processes of a
+/// message sent before the crash.
+void StreamChecker::check_down_activity(const sim::TraceRecord& r) {
+  const bool is_down = r.pid < down_.size() && down_[r.pid] != 0;
+  if (!is_down) return;
+  switch (r.kind) {
+    case sim::TraceKind::kSense:
+    case sim::TraceKind::kSend:
+      add(fault_, {ViolationKind::kActivityWhileDown, r.pid, 0, r.seq, r.at,
+                   std::string(sim::to_string(r.kind)) +
+                       " record from a process inside its crash window"});
+      break;
+    case sim::TraceKind::kDeliver:
+    case sim::TraceKind::kReceive:
+      add(fault_, {ViolationKind::kActivityWhileDown, r.pid, 0, r.seq, r.at,
+                   std::string(sim::to_string(r.kind)) +
+                       " record at a process inside its crash window "
+                       "(the transport must drop these)"});
+      break;
+    default:
+      break;
+  }
 }
 
 void StreamChecker::feed_execution_only(ProcessId pid,
@@ -394,8 +499,14 @@ void StreamChecker::check_physical(ProcessId p, const core::ProcessEvent& e) {
              std::to_string(cfg_.sync_epsilon.to_seconds()) + "s"});
   }
   drift_.events_checked++;
-  const Duration local_err =
-      (e.clocks.physical_local - e.clocks.true_time).abs();
+  Duration local_delta = e.clocks.physical_local - e.clocks.true_time;
+  if (cfg_.options.faults != nullptr) {
+    // Declared clock faults are compensated exactly — subtract the injected
+    // offset and hold the residual to the healthy envelope. An undeclared
+    // excursion of the same size still fails.
+    local_delta -= cfg_.options.faults->drift_offset(p, e.clocks.true_time);
+  }
+  const Duration local_err = local_delta.abs();
   const Duration envelope =
       cfg_.drifting.initial_offset.abs() + cfg_.drifting.read_jitter.abs() +
       Duration::from_seconds(std::abs(cfg_.drifting.drift_ppm) * 1e-6 *
@@ -516,6 +627,9 @@ CheckReport StreamChecker::finish() {
   if (cfg_.options.validity_horizon.bounded()) {
     report.contracts.push_back(std::move(validity_));
   }
+  // Likewise the fault-model contract: it only exists for streams that
+  // carried fault records, so fault-free reports keep the pinned shape.
+  if (saw_fault_records_) report.contracts.push_back(std::move(fault_));
   std::size_t violations = 0;
   for (const auto& c : report.contracts) violations += c.violations_total;
   if (violations > 0) {

@@ -135,6 +135,8 @@ class StreamChecker {
 
   bool bound() const { return executions_ != nullptr; }
   void add(ContractResult& c, CheckViolation v);
+  void on_fault_record(const sim::TraceRecord& r);
+  void check_down_activity(const sim::TraceRecord& r);
   void consume_target(ProcessId p, core::EventType type, std::uint64_t seq,
                       const sim::TraceRecord& r);
   void consume_one(ProcessId p, bool synced_with_trace);
@@ -172,7 +174,14 @@ class StreamChecker {
   std::deque<PendingEntry, PoolAllocator<PendingEntry>> pending_order_;
   std::vector<SenseSample> senses_;
   ContractResult hb_, lamport_, vector_, strobe_scalar_, strobe_vector_,
-      soundness_, epsilon_, drift_, validity_;
+      soundness_, epsilon_, drift_, validity_, fault_;
+  /// Crash/partition replay driven by the stream's fault records: which
+  /// processes are currently down and which overlay edges are cut. The
+  /// fault-model contract only joins the report once a fault record has
+  /// been seen, so fault-free reports keep their pinned shape.
+  bool saw_fault_records_ = false;
+  std::vector<unsigned char> down_;
+  std::vector<std::pair<ProcessId, ProcessId>> cut_edges_;
   std::size_t records_fed_ = 0;
   bool partial_ = false;
   /// First violation witnessed by the in-flight feed() call, for its return.

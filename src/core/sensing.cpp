@@ -48,6 +48,9 @@ void SensorNode::record_event(EventType type, std::optional<VarRef> var,
   ev.type = type;
   ev.local_index = events_.size() + 1;
   ev.clocks = bundle_.snapshot(sim_.now());
+  if (faults_ != nullptr) {
+    ev.clocks.physical_local += faults_->drift_offset(pid_, sim_.now());
+  }
   ev.var = std::move(var);
   ev.value = value;
   ev.world_event = world_event;
@@ -64,6 +67,11 @@ void SensorNode::enable_observation_log(std::size_t n, Duration delta_bound,
 }
 
 void SensorNode::sense(const world::WorldEvent& ev) {
+  // A crashed node's sensor is dark: no n event, no strobe, no sequence id
+  // consumed (seq allocation is per-source-strided, so skipping here leaves
+  // every other message's id untouched — shard layouts stay byte-identical).
+  if (faults_ != nullptr && faults_->down(pid_, sim_.now())) return;
+
   // SSC1/SVC1 (and SC1/VC1 for the causal clocks) fire before the snapshot,
   // so the recorded stamp is the post-tick value — the one broadcast.
   const clocks::StrobeOut strobes = bundle_.on_sense_event();
@@ -80,6 +88,11 @@ void SensorNode::sense(const world::WorldEvent& ev) {
   payload.strobe_vector = strobes.vector;
   payload.synced_timestamp = bundle_.synced().read(now);
   payload.local_timestamp = bundle_.drifting().read(now);
+  if (faults_ != nullptr) {
+    // Declared clock faults shift the hardware reading deterministically;
+    // the checker compensates with the same pure function of (pid, t).
+    payload.local_timestamp += faults_->drift_offset(pid_, now);
+  }
   payload.true_sense_time = now;
   payload.world_event = ev.index;
   if (observing_) {

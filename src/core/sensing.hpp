@@ -80,6 +80,15 @@ class SensorNode {
   bool observation_log_enabled() const { return observing_; }
   const ObservationLog& observation_log() const { return local_log_; }
 
+  /// Installs the run's fault schedule (DESIGN.md §15): inside one of its
+  /// crash windows this node senses nothing (no n event, no strobe, no seq
+  /// consumed — a down radio), and its clock-fault windows add a
+  /// deterministic drift offset to every physical-local reading it stamps.
+  /// The schedule must outlive the node; nullptr (default) = fault-free.
+  void set_fault_schedule(const sim::FaultSchedule* faults) {
+    faults_ = faults;
+  }
+
   /// Routes sense reports as a single unicast to `target` instead of the
   /// default system-wide strobe broadcast. The city-scale deployment uses
   /// this: 10^5 sensors strobe-broadcasting would be O(n^2) messages per
@@ -103,6 +112,7 @@ class SensorNode {
   clocks::ClockBundle bundle_;
   std::vector<ProcessEvent> events_;
   world::WorldModel* world_ = nullptr;
+  const sim::FaultSchedule* faults_ = nullptr;
   bool observing_ = false;
   ProcessId report_target_ = kNoProcess;  ///< kNoProcess = strobe broadcast
   ObservationLog local_log_;

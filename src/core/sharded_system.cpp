@@ -64,9 +64,15 @@ net::ShardMap make_shard_map(const ShardedSystemConfig& cfg) {
 
 ShardedPervasiveSystem::ShardedPervasiveSystem(ShardedSystemConfig config)
     : config_(std::move(config)),
+      faults_(make_fault_schedule(config_.base)),
       n_(config_.base.num_sensors + 1),
       shard_map_(make_shard_map(config_)) {
   PSN_CHECK(config_.pool_threads >= 1, "pool_threads must be >= 1");
+  // Gilbert–Elliott loss keeps good/bad state across drop() calls, so its
+  // draws depend on the global transmission order — only the K = 1 layout
+  // reproduces the serial run (callers reject with a friendly error first).
+  PSN_CHECK(!config_.base.gilbert_elliott.has_value() || config_.shards == 1,
+            "Gilbert-Elliott loss is not supported with shards > 1");
   if (config_.shards > 1) {
     // Conservative lookahead: the window W must be covered by the minimum
     // one-hop delay, or a send inside a window could land inside the same
@@ -106,6 +112,10 @@ ShardedPervasiveSystem::build_shard(std::size_t s) {
   PSN_CHECK(!base.fifo_channels || config_.shards == 1,
             "FIFO channels are not supported with shards > 1");
   sh->transport->set_fifo_channels(base.fifo_channels);
+  // Every shard installs the shared fault schedule: crash/partition drops
+  // are decided in the *sender's* shard (like the wake-schedule clamp), so
+  // each transport must know the full plan, not just its own pids' slice.
+  if (faults_ != nullptr) sh->transport->set_fault_schedule(faults_.get());
 
   // The root P_0 is replicated into every shard: a delivery to the root
   // executes locally in the *sender's* shard against the local replica (the
@@ -127,6 +137,7 @@ ShardedPervasiveSystem::build_shard(std::size_t s) {
         pid, n_, *sh->sim, *sh->transport, base.clock_config,
         sh->sim->rng_for("clock", pid)));
     SensorNode* node = sh->sensors.back().get();
+    if (faults_ != nullptr) node->set_fault_schedule(faults_.get());
     if (config_.unicast_reports) node->set_report_target(0);
     sh->transport->register_handler(
         pid, [node](const net::Message& msg) { node->on_message(msg); });
@@ -384,6 +395,12 @@ std::vector<sim::TraceRecord> ShardedPervasiveSystem::trace_records() const {
       out.insert(out.end(), std::make_move_iterator(records.begin()),
                  std::make_move_iterator(records.end()));
     }
+  }
+  // Fault-plan transitions are synthesized from the schedule exactly once,
+  // post-run — live emission would duplicate them per shard and could evict
+  // real records from a full ring.
+  if (faults_ != nullptr) {
+    faults_->append_trace_records(out, config_.base.sim.horizon);
   }
   sim::canonical_trace_order(out);
   return out;

@@ -119,6 +119,11 @@ class ShardedPervasiveSystem {
 
   const ShardedSystemConfig& config() const { return config_; }
 
+  /// The compiled fault schedule, or nullptr when the config has no faults.
+  /// One schedule is shared by every shard — fault decisions are pure
+  /// functions of (pid/edge, time), never of the shard layout.
+  const sim::FaultSchedule* faults() const { return faults_.get(); }
+
  private:
   struct Shard;
   struct ReplayCursor;
@@ -130,6 +135,7 @@ class ShardedPervasiveSystem {
   void merge_root_logs();
 
   ShardedSystemConfig config_;
+  std::unique_ptr<sim::FaultSchedule> faults_;
   std::size_t n_ = 0;              ///< processes incl. the root
   Duration window_ = Duration::zero();
   net::ShardMap shard_map_;

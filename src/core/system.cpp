@@ -54,9 +54,41 @@ std::unique_ptr<net::LossModel> make_loss_model(const SystemConfig& cfg) {
   if (!cfg.loss_windows.empty()) {
     parts.push_back(std::make_unique<net::ScheduledBurstLoss>(cfg.loss_windows));
   }
+  if (cfg.gilbert_elliott.has_value()) {
+    const auto& ge = *cfg.gilbert_elliott;
+    parts.push_back(std::make_unique<net::GilbertElliottLoss>(
+        ge.p_good_to_bad, ge.p_bad_to_good, ge.loss_in_good, ge.loss_in_bad));
+  }
   if (parts.empty()) return std::make_unique<net::NoLoss>();
   if (parts.size() == 1) return std::move(parts[0]);
   return std::make_unique<CombinedLoss>(std::move(parts));
+}
+
+std::unique_ptr<sim::FaultSchedule> make_fault_schedule(
+    const SystemConfig& cfg) {
+  if (cfg.faults.empty()) return nullptr;
+  const std::size_t n = cfg.num_sensors + 1;
+  for (const sim::CrashWindow& w : cfg.faults.crashes) {
+    if (w.pid >= n) {
+      throw ConfigError("fault plan: crash pid " + std::to_string(w.pid) +
+                        " is not a process (n = " + std::to_string(n) + ")");
+    }
+  }
+  for (const sim::ClockFaultWindow& w : cfg.faults.clock_faults) {
+    if (w.pid >= n) {
+      throw ConfigError("fault plan: drift pid " + std::to_string(w.pid) +
+                        " is not a process (n = " + std::to_string(n) + ")");
+    }
+  }
+  const net::Overlay overlay = make_system_overlay(cfg.topology, n);
+  for (const sim::PartitionWindow& w : cfg.faults.partitions) {
+    if (w.a >= n || w.b >= n || !overlay.has_edge(w.a, w.b)) {
+      throw ConfigError("fault plan: cut edge " + std::to_string(w.a) + "-" +
+                        std::to_string(w.b) +
+                        " does not exist in the configured topology");
+    }
+  }
+  return std::make_unique<sim::FaultSchedule>(cfg.faults);
 }
 
 net::Overlay make_system_overlay(TopologyKind kind, std::size_t n) {
@@ -75,6 +107,7 @@ PervasiveSystem::PervasiveSystem(SystemConfig config)
   PSN_CHECK(config_.num_sensors >= 1, "need at least one sensor");
   const std::size_t n = config_.num_sensors + 1;
 
+  faults_ = make_fault_schedule(config_);
   sim_ = std::make_unique<sim::Simulation>(config_.sim);
   world_ = std::make_unique<world::WorldModel>(*sim_);
   transport_ = std::make_unique<net::Transport>(
@@ -83,6 +116,7 @@ PervasiveSystem::PervasiveSystem(SystemConfig config)
       sim_->rng_for("transport"));
   transport_->set_clock_mode(config_.clock_mode);
   transport_->set_fifo_channels(config_.fifo_channels);
+  if (faults_ != nullptr) transport_->set_fault_schedule(faults_.get());
 
   root_ = std::make_unique<RootMonitor>(0, n, *sim_, config_.clock_config,
                                         sim_->rng_for("clock", 0));
@@ -95,6 +129,7 @@ PervasiveSystem::PervasiveSystem(SystemConfig config)
         sim_->rng_for("clock", pid)));
     SensorNode* node = sensors_.back().get();
     node->bind_world(world_.get());
+    if (faults_ != nullptr) node->set_fault_schedule(faults_.get());
     transport_->register_handler(
         pid, [node](const net::Message& msg) { node->on_message(msg); });
   }

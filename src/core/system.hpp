@@ -6,6 +6,7 @@
 
 #include "core/sensing.hpp"
 #include "net/transport.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulation.hpp"
 #include "world/world_model.hpp"
 
@@ -42,6 +43,25 @@ struct SystemConfig {
   /// Windows of total loss (E8 fault injection); combined with the above.
   std::vector<net::ScheduledBurstLoss::Window> loss_windows;
 
+  /// Optional Gilbert–Elliott burst-loss channel, combined with the other
+  /// loss sources. Its good/bad state advances per drop() call, so results
+  /// depend on the global transmission order: the sharded runner rejects it
+  /// for K > 1 (use loss_windows for shard-stable bursts).
+  struct GilbertElliottParams {
+    double p_good_to_bad = 0.0;
+    double p_bad_to_good = 0.0;
+    double loss_in_good = 0.0;
+    double loss_in_bad = 0.0;
+  };
+  std::optional<GilbertElliottParams> gilbert_elliott;
+
+  /// Deterministic fault plan (sim/fault, DESIGN.md §15): process
+  /// crash/restart windows, overlay partition windows, and clock-fault
+  /// drift spikes. Empty = fault-free. Compiled once into a FaultSchedule
+  /// shared by the transport and every sensor; partition edges must exist
+  /// in the configured topology.
+  sim::FaultPlan faults;
+
   /// Optional receiver duty cycling for the sensor nodes (paper §5: MAC-
   /// layer duty cycles in habitat monitoring). The root's radio is always
   /// on (it is the mains-powered back-end).
@@ -67,6 +87,13 @@ struct SystemConfig {
 std::unique_ptr<net::DelayModel> make_delay_model(const SystemConfig& config);
 std::unique_ptr<net::LossModel> make_loss_model(const SystemConfig& config);
 net::Overlay make_system_overlay(TopologyKind kind, std::size_t n);
+
+/// Compiles (and validates) a config's fault plan against its topology:
+/// every cut edge must exist in the base overlay, and crash/drift pids must
+/// name real processes. Returns nullptr for an empty plan. Shared by
+/// PervasiveSystem and the sharded runner so both reject the same configs.
+std::unique_ptr<sim::FaultSchedule> make_fault_schedule(
+    const SystemConfig& config);
 
 /// The assembled system: world plane ⟨O, C⟩, network plane ⟨P, L⟩ with the
 /// root monitor P_0 and sensor processes P_1..P_n, wired so that every
@@ -110,8 +137,12 @@ class PervasiveSystem {
 
   const SystemConfig& config() const { return config_; }
 
+  /// The compiled fault schedule, or nullptr when the config has no faults.
+  const sim::FaultSchedule* faults() const { return faults_.get(); }
+
  private:
   SystemConfig config_;
+  std::unique_ptr<sim::FaultSchedule> faults_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<world::WorldModel> world_;
   std::unique_ptr<net::Transport> transport_;

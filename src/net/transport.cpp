@@ -120,6 +120,35 @@ Transport::Transport(sim::Simulation& sim, Overlay overlay,
   delay_ms_metric_ = m.histogram("net.delivery_delay_ms", 0.0, 1000.0, 50);
 }
 
+void Transport::set_fault_schedule(const sim::FaultSchedule* faults) {
+  faults_ = faults;
+  partitions_applied_ = 0;
+  cut_edges_active_ = 0;
+  if (faults_ == nullptr) return;
+  // Registered only under a fault plan: fault-free runs keep their exact
+  // metric set (golden metrics CSVs pin it byte-for-byte).
+  MetricsRegistry& m = sim_.metrics();
+  drops_loss_metric_ = m.counter("net.drops.loss");
+  drops_crashed_metric_ = m.counter("net.drops.crashed_dst");
+  drops_partition_metric_ = m.counter("net.drops.partition");
+  drops_duty_metric_ = m.counter("net.drops.duty_cycle");
+}
+
+PSN_HOT void Transport::apply_partition_epoch() {
+  const std::size_t epoch = faults_->partition_epoch(sim_.now());
+  while (partitions_applied_ < epoch) {
+    const sim::PartitionTransition& t =
+        faults_->partition_transitions()[partitions_applied_++];
+    if (t.cut) {
+      overlay_.remove_edge(t.a, t.b);
+      cut_edges_active_++;
+    } else {
+      overlay_.add_edge(t.a, t.b);
+      cut_edges_active_--;
+    }
+  }
+}
+
 void Transport::set_wake_schedule(ProcessId pid, const DutyCycle& schedule) {
   PSN_CHECK(pid < wake_.size(), "pid out of range");
   PSN_CHECK(schedule.valid(), "invalid duty cycle schedule");
@@ -178,16 +207,26 @@ PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
   auto& ks = stats_.of(msg.kind);
   const auto kind_index = static_cast<int>(msg.kind);
 
+  // Partition transitions with at <= now must be on the overlay before any
+  // routing decision — reachability is then a pure function of send time.
+  if (faults_ != nullptr) apply_partition_epoch();
+
   // Reachability first: a message with no route never leaves the node, so
   // it must not inflate sent/bytes totals (partition scenarios otherwise
-  // overstate radio cost). Unreachable is its own tally.
+  // overstate radio cost). Unreachable is its own tally. With a cut window
+  // active the lost route is attributed to the partition (the note feeds
+  // the fault-aware audit's span builder).
   const std::size_t hops = overlay_.hop_distance(msg.src, msg.dst);
   if (hops == SIZE_MAX) {
     ks.unreachable++;
     unreachable_metric_.inc();
+    const bool partitioned = faults_ != nullptr && cut_edges_active_ > 0;
+    if (partitioned) drops_partition_metric_.inc();
     if (sim::TraceRecorder* tr = sim_.trace()) {
       tr->record({sim_.now(), sim::TraceKind::kUnreachable, msg.src, msg.dst,
-                  kind_index, 0, {}, msg.seq});
+                  kind_index, 0,
+                  partitioned ? std::string("partition") : std::string(),
+                  msg.seq});
     }
     return;
   }
@@ -221,6 +260,7 @@ PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
     if (loss_->drop(sim_.now(), hop_rng)) {
       ks.dropped++;
       dropped_metric_.inc();
+      drops_loss_metric_.inc();  // inert unless a fault schedule is installed
       if (sim::TraceRecorder* tr = sim_.trace()) {
         tr->record({sim_.now(), sim::TraceKind::kDrop, msg.src, msg.dst,
                     kind_index, bytes, {}, msg.seq});
@@ -229,7 +269,8 @@ PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
     }
     total += delay_->sample(hop_rng);
   }
-  SimTime at = sim_.now() + total;
+  const SimTime raw_at = sim_.now() + total;
+  SimTime at = raw_at;
   // Duty cycling: an arrival during the receiver's sleep window waits at
   // the MAC until the next wake edge.
   if (wake_[msg.dst].has_value()) at = wake_[msg.dst]->next_wake(at);
@@ -238,9 +279,43 @@ PSN_HOT void Transport::transmit(Message msg, std::size_t bytes) {
     if (at <= last) at = last + Duration::nanos(1);
     last = at;
   }
+  // A delivery landing inside the destination's crash window is dropped —
+  // decided here on the sender's side (like the duty clamp above), so the
+  // outcome is a pure function of (schedule, message) at any shard layout.
+  // Cause "duty-cycle" marks the arrival that would have been fine but for
+  // a sleep deferral into the window; everything else is "crash".
+  if (faults_ != nullptr && faults_->down(msg.dst, at)) {
+    const bool deferred_into_crash =
+        wake_[msg.dst].has_value() && !faults_->down(msg.dst, raw_at);
+    ks.dropped++;
+    dropped_metric_.inc();
+    if (deferred_into_crash) {
+      drops_duty_metric_.inc();
+    } else {
+      drops_crashed_metric_.inc();
+    }
+    if (sim::TraceRecorder* tr = sim_.trace()) {
+      tr->record({sim_.now(), sim::TraceKind::kDrop, msg.src, msg.dst,
+                  kind_index, bytes,
+                  deferred_into_crash ? std::string("duty-cycle")
+                                      : std::string("crash"),
+                  msg.seq});
+    }
+    return;
+  }
   const std::uint64_t tie = delivery_tie(msg.seq, msg.dst);
   if (remote_route_.is_remote && remote_route_.is_remote(msg.dst)) {
     remote_route_.enqueue(at, tie, std::move(msg), bytes);
+    return;
+  }
+  // Δ = 0 (the synchronous model) delivers inline: the strobe must be merged
+  // at every receiver before any later event at this instant, which is both
+  // the paper's instantaneous-delivery semantics and the order the canonical
+  // trace records it — deferring through the scheduler would let co-instant
+  // events queued earlier run first and the checker's replay would diverge
+  // from the claimed clocks.
+  if (at == sim_.now()) {
+    deliver_now(std::move(msg), bytes);
     return;
   }
   auto deliver = [this, msg = std::move(msg), bytes]() mutable {

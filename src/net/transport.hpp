@@ -14,6 +14,7 @@
 #include "net/loss_model.hpp"
 #include "net/message.hpp"
 #include "net/overlay.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulation.hpp"
 
 namespace psn::net {
@@ -105,6 +106,21 @@ class Transport {
   void set_fifo_channels(bool fifo) { fifo_ = fifo; }
   bool fifo_channels() const { return fifo_; }
 
+  /// Installs the run's fault schedule (sim/fault, DESIGN.md §15). The
+  /// transport then (a) replays partition transitions onto its overlay copy
+  /// lazily before routing — cached hop rows invalidate exactly at window
+  /// boundaries; (b) drops deliveries landing inside the destination's crash
+  /// windows, sender-side, so the decision is a pure function of the message
+  /// and identical at every shard layout; (c) splits drop accounting into
+  /// per-cause counters (net.drops.loss / crashed_dst / partition /
+  /// duty_cycle), registered only now so fault-free runs keep their exact
+  /// metric set. The schedule must outlive the transport; pass nullptr to
+  /// detach. Crash-caused kDrop records carry note "crash" (or "duty-cycle"
+  /// when a sleep deferral pushed the arrival into the window); loss drops
+  /// keep an empty note; partition kUnreachable records gain note
+  /// "partition" while a cut is active.
+  void set_fault_schedule(const sim::FaultSchedule* faults);
+
   /// Installs a duty-cycle wake schedule for `pid`'s receiver: arrivals
   /// while asleep are held by the MAC and delivered at the next wake edge
   /// (paper §5, duty-cycled habitat monitoring). No schedule = always on.
@@ -153,6 +169,11 @@ class Transport {
  private:
   /// Allocates the next per-source-strided sequence id for `src`.
   std::uint64_t next_seq_for(ProcessId src);
+  /// Replays fault-plan partition transitions with at <= now onto the local
+  /// overlay copy. Time is monotonic within a shard, so the replay cursor
+  /// only moves forward; each transition mutates one edge, which invalidates
+  /// exactly the overlay's affected cached hop rows.
+  void apply_partition_epoch();
   /// `bytes` is the wire price of the message under the active clock mode,
   /// computed once per logical message (unicast: per message; broadcast:
   /// once for the whole fan-out — all copies share payload, kind, and mode).
@@ -176,6 +197,14 @@ class Transport {
   MetricsRegistry::Counter dropped_metric_;
   MetricsRegistry::Counter unreachable_metric_;
   MetricsRegistry::Hist delay_ms_metric_;
+  // Per-cause drop counters; inert no-ops until a fault schedule arrives.
+  MetricsRegistry::Counter drops_loss_metric_;
+  MetricsRegistry::Counter drops_crashed_metric_;
+  MetricsRegistry::Counter drops_partition_metric_;
+  MetricsRegistry::Counter drops_duty_metric_;
+  const sim::FaultSchedule* faults_ = nullptr;
+  std::size_t partitions_applied_ = 0;  ///< transitions replayed so far
+  std::size_t cut_edges_active_ = 0;    ///< currently-cut edges (attribution)
   bool fifo_ = false;
   /// Last scheduled delivery time per (src, dst), for FIFO clamping.
   std::map<std::pair<ProcessId, ProcessId>, SimTime> last_delivery_;

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <ostream>
 #include <utility>
@@ -152,6 +153,7 @@ void Listener::accept_one() {
   conn->session = std::make_unique<Session>(
       session_cfg,
       [fd](std::string_view chunk) { return send_all(fd, chunk); });
+  conn->last_activity = std::chrono::steady_clock::now();
   metrics_.counter("serve.streams.accepted").inc();
   log_line("{\"event\":\"accept\",\"stream\":" + std::to_string(conn->id) +
            "}\n");
@@ -166,6 +168,7 @@ bool Listener::service(Connection& conn) {
     return true;  // connection error: finalize what we have and close
   }
   if (n == 0) return true;  // producer EOF (orderly or half-close)
+  conn.last_activity = std::chrono::steady_clock::now();
   if (conn.finalized) return false;  // draining a stopped session's input
   conn.session->on_data(std::string_view(buf, static_cast<std::size_t>(n)));
   if (conn.session->stopped()) {
@@ -221,6 +224,39 @@ void Listener::close_connection(Connection& conn) {
   conn.fd.reset();
 }
 
+int Listener::poll_timeout_ms() const {
+  if (cfg_.idle_timeout_ms <= 0 || conns_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  std::int64_t nearest = cfg_.idle_timeout_ms;
+  for (const auto& conn : conns_) {
+    const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now - conn->last_activity)
+                          .count();
+    nearest = std::min(nearest, cfg_.idle_timeout_ms - idle);
+  }
+  return static_cast<int>(std::max<std::int64_t>(0, nearest));
+}
+
+void Listener::evict_idle() {
+  if (cfg_.idle_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& conn : conns_) {
+    if (!conn->fd) continue;
+    const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now - conn->last_activity)
+                          .count();
+    if (idle < cfg_.idle_timeout_ms) continue;
+    // Eviction is the normal end-of-stream path: the client still gets its
+    // final metrics + eof verdict before the close.
+    metrics_.counter(labeled_metric("serve.stream", conn->id, "idle_evicted"))
+        .inc();
+    log_line("{\"event\":\"idle_evict\",\"stream\":" +
+             std::to_string(conn->id) +
+             ",\"idle_ms\":" + std::to_string(idle) + "}\n");
+    close_connection(*conn);
+  }
+}
+
 int Listener::run() {
   open();
 
@@ -244,7 +280,8 @@ int Listener::run() {
     for (const auto& conn : conns_) {
       fds.push_back({conn->fd.get(), POLLIN, 0});
     }
-    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_timeout_ms());
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
@@ -260,6 +297,7 @@ int Listener::run() {
       if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       if (service(*conns_[i])) close_connection(*conns_[i]);
     }
+    evict_idle();
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const std::unique_ptr<Connection>& c) {
                                   return !c->fd;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -30,6 +31,14 @@ struct ListenerConfig {
 
   /// Per-session line-reassembly cap (SessionConfig::max_line_bytes).
   std::size_t max_line_bytes = std::size_t{1} << 16;
+
+  /// Evict a session after this much wall-clock time without a byte from
+  /// its producer (0 = never). Eviction is the normal end-of-stream path:
+  /// the session is drained through finish(), the client gets its final
+  /// metrics + eof verdict, and serve.stream.<id>.idle_evicted records the
+  /// cause in the shutdown snapshot. A producer that wedges mid-soak can no
+  /// longer pin a stream slot forever.
+  std::int64_t idle_timeout_ms = 0;
 
   /// Install SIGINT/SIGTERM handlers for graceful shutdown while run() is
   /// live. Tests turn this off and call request_stop() instead.
@@ -91,12 +100,19 @@ class Listener {
     std::uint64_t id = 0;
     std::unique_ptr<Session> session;
     bool finalized = false;  ///< verdict emitted; now draining to EOF
+    /// Last instant the producer delivered bytes (or the accept instant);
+    /// drives the --idle-timeout eviction clock.
+    std::chrono::steady_clock::time_point last_activity;
   };
 
   void accept_one();
   /// Reads once; feeds the session; returns true when the connection is
   /// done (EOF or error) and should be closed.
   bool service(Connection& conn);
+  /// Poll timeout honoring the nearest idle deadline (-1 = block forever).
+  int poll_timeout_ms() const;
+  /// Evicts every session whose idle deadline has passed.
+  void evict_idle();
   /// Emits the session's final events, merges its metrics, logs the close
   /// line, and folds its exit code into the aggregate. Idempotent.
   void finalize(Connection& conn);

@@ -202,7 +202,7 @@ class LineParser {
         fail(out, "\"kind\" must be a string");
         return false;
       }
-      for (int k = 0; k <= static_cast<int>(sim::TraceKind::kDetect); ++k) {
+      for (int k = 0; k <= static_cast<int>(sim::TraceKind::kHeal); ++k) {
         if (name == sim::to_string(static_cast<sim::TraceKind>(k))) {
           out.record.kind = static_cast<sim::TraceKind>(k);
           return true;

@@ -24,6 +24,13 @@ int co_instant_group(TraceKind k) {
       return 3;
     case TraceKind::kDetect:
       return 4;
+    case TraceKind::kCrash:
+    case TraceKind::kRestart:
+    case TraceKind::kPartition:
+    case TraceKind::kHeal:
+      // Fault-plan records carry seq 0, so this ranks them ahead of every
+      // message record at their instant (and ahead of co-instant detects).
+      return -1;
   }
   return 5;
 }
@@ -50,6 +57,10 @@ const char* to_string(TraceKind k) {
     case TraceKind::kDrop: return "drop";
     case TraceKind::kUnreachable: return "unreachable";
     case TraceKind::kDetect: return "detect";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kRestart: return "restart";
+    case TraceKind::kPartition: return "partition";
+    case TraceKind::kHeal: return "heal";
   }
   return "?";
 }

@@ -20,6 +20,10 @@ enum class TraceKind : std::uint8_t {
   kDrop,         ///< the loss model ate a transmission
   kUnreachable,  ///< no overlay path to the destination; never transmitted
   kDetect,       ///< a detector reported a predicate transition
+  kCrash,        ///< fault plan: the process went down (sim/fault)
+  kRestart,      ///< fault plan: the process came back up
+  kPartition,    ///< fault plan: overlay edge pid–peer was cut
+  kHeal,         ///< fault plan: overlay edge pid–peer was restored
 };
 
 const char* to_string(TraceKind k);

@@ -227,6 +227,80 @@ TEST(ShardedGoldenTest, ShardCountAndPoolSizeNeverChangeArtifacts) {
   }
 }
 
+// --- the fault-layer acceptance bar (DESIGN.md §15) ----------------------
+//
+// A faulty run — two crash windows, a partition window, a drift spike, and
+// scheduled burst loss — must produce byte-identical artifacts at every
+// (shards × pool threads) shape under all three wire clock modes, and the
+// 1-shard reference is pinned so cross-session drift cannot hide behind the
+// self-comparison. Fault schedules are config-derived pure data, so this is
+// exactly as strong a bar as the fault-free one above.
+
+OccupancyConfig faulty_grid_config(net::ClockMode mode) {
+  OccupancyConfig cfg = shard_grid_config(mode);
+  cfg.faults = sim::parse_fault_plan(
+      "crash:3@2+3;crash:5@6+2;cut:1-4@3+4;drift:2@1+5:200");
+  cfg.loss_windows.push_back({SimTime::zero() + Duration::seconds(4),
+                              SimTime::zero() + Duration::seconds(5)});
+  cfg.loss_probability = 0.05;
+  cfg.check = true;  // the checker must stay clean at every shape, too
+  return cfg;
+}
+
+// Fixtures for the 1-shard faulty reference runs (PSN_GOLDEN_PRINT=1).
+constexpr GoldenHashes kFaultyGolden[] = {
+    {"scalar", "2685c8dab976799e", "2389316e88ba6b92", "d36449a85cf42e18"},
+    {"vector", "2685c8dab976799e", "37e9105693831520", "f71d8df3909b54a"},
+    {"physical", "2685c8dab976799e", "3692b9a36cd83274", "f033590393bb8328"},
+};
+
+TEST(FaultyGoldenTest, FaultScheduleNeverBreaksShardOrThreadDeterminism) {
+  const net::ClockMode modes[] = {net::ClockMode::kScalarStrobe,
+                                  net::ClockMode::kVectorStrobe,
+                                  net::ClockMode::kPhysical};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const OccupancyConfig base = faulty_grid_config(modes[i]);
+    const OccupancyRunResult ref_run = run_occupancy_experiment(base);
+    ASSERT_EQ(ref_run.trace_evicted, 0u);
+    ASSERT_TRUE(ref_run.check.has_value());
+    EXPECT_TRUE(ref_run.check->clean()) << ref_run.check->summary();
+    const ShardArtifacts ref = artifacts_of(ref_run);
+    if (print_mode()) {
+      std::printf("    {\"%s\", \"%s\", \"%s\", \"%s\"},\n",
+                  kFaultyGolden[i].mode, ref.detections.c_str(),
+                  ref.metrics_csv.c_str(), ref.trace_jsonl.c_str());
+    } else {
+      EXPECT_EQ(ref.detections, kFaultyGolden[i].detections)
+          << kFaultyGolden[i].mode << ": faulty 1-shard reference drifted";
+      EXPECT_EQ(ref.metrics_csv, kFaultyGolden[i].metrics_csv)
+          << kFaultyGolden[i].mode << ": faulty 1-shard reference drifted";
+      EXPECT_EQ(ref.trace_jsonl, kFaultyGolden[i].trace_jsonl)
+          << kFaultyGolden[i].mode << ": faulty 1-shard reference drifted";
+    }
+
+    struct Shape {
+      std::size_t shards;
+      std::size_t threads;
+    };
+    for (const Shape shape :
+         {Shape{1, 8}, Shape{4, 1}, Shape{4, 8}}) {
+      OccupancyConfig sharded = base;
+      sharded.shards = shape.shards;
+      sharded.shard_threads = shape.threads;
+      const OccupancyRunResult run = run_occupancy_experiment(sharded);
+      ASSERT_TRUE(run.check.has_value());
+      EXPECT_TRUE(run.check->clean()) << run.check->summary();
+      const ShardArtifacts got = artifacts_of(run);
+      const std::string where = std::string(kFaultyGolden[i].mode) + " @ " +
+                                std::to_string(shape.shards) + " shards × " +
+                                std::to_string(shape.threads) + " threads";
+      EXPECT_EQ(got.detections, ref.detections) << where << ": detections";
+      EXPECT_EQ(got.metrics_csv, ref.metrics_csv) << where << ": metrics";
+      EXPECT_EQ(got.trace_jsonl, ref.trace_jsonl) << where << ": trace";
+    }
+  }
+}
+
 TEST(ShardedGoldenTest, ChurnHeavyConfigStaysIdenticalAcrossShards) {
   // Loss draws, scheduled burst windows, and unaligned duty cycling all bend
   // the per-message hot path (drops consume RNG draws; wake schedules warp

@@ -73,6 +73,62 @@ TEST_P(TraceReconciliationTest, SendRecordsMatchMessageStatsExactly) {
             run.message_stats.total_bytes());
 }
 
+TEST(TraceReconciliationTest, PerCauseDropCountersMatchTraceRecords) {
+  // Satellite of the fault layer (DESIGN.md §15): every transport drop is
+  // tallied under exactly one cause, and each per-cause counter must equal
+  // the count of trace records carrying that cause annotation.
+  OccupancyConfig cfg = traced_base(net::ClockMode::kVectorStrobe);
+  cfg.loss_probability = 0.2;
+  // Star overlay so the cut root edge is genuinely unroutable (a complete
+  // overlay would just route around it and never record a partition drop).
+  cfg.topology = core::TopologyKind::kStar;
+  cfg.faults = sim::parse_fault_plan("crash:2@2+3;cut:0-3@6+2");
+  cfg.duty_cycle = net::DutyCycle{Duration::millis(200),
+                                  Duration::millis(60), Duration::zero()};
+  const OccupancyRunResult run = run_occupancy_experiment(cfg);
+  ASSERT_EQ(run.trace_evicted, 0u);
+
+  std::size_t loss = 0, crashed = 0, duty = 0, partition = 0;
+  for (const sim::TraceRecord& r : run.trace) {
+    if (r.kind == sim::TraceKind::kDrop) {
+      if (r.note == "crash") {
+        crashed++;
+      } else if (r.note == "duty-cycle") {
+        duty++;
+      } else {
+        loss++;
+      }
+    } else if (r.kind == sim::TraceKind::kUnreachable &&
+               r.note == "partition") {
+      partition++;
+    }
+  }
+  EXPECT_EQ(run.metrics.counters.at("net.drops.loss"), loss);
+  EXPECT_EQ(run.metrics.counters.at("net.drops.crashed_dst"), crashed);
+  EXPECT_EQ(run.metrics.counters.at("net.drops.duty_cycle"), duty);
+  EXPECT_EQ(run.metrics.counters.at("net.drops.partition"), partition);
+  // The config injects enough of each for the interesting causes to be
+  // exercised, and the causes partition the aggregate drop total.
+  EXPECT_GT(loss, 0u);
+  EXPECT_GT(crashed, 0u);
+  EXPECT_GT(partition, 0u);
+  EXPECT_EQ(loss + crashed + duty,
+            static_cast<std::size_t>(
+                run.metrics.counters.at("net.dropped")));
+}
+
+TEST(MetricsResultTest, StockRunsCarryNoFaultDropCounters) {
+  // Lazy registration: without a fault schedule the per-cause counters must
+  // stay out of the snapshot entirely, keeping stock metrics CSVs
+  // byte-identical to the pre-fault-layer fixtures.
+  const OccupancyRunResult run =
+      run_occupancy_experiment(traced_base(net::ClockMode::kVectorStrobe));
+  EXPECT_EQ(run.metrics.counters.count("net.drops.loss"), 0u);
+  EXPECT_EQ(run.metrics.counters.count("net.drops.crashed_dst"), 0u);
+  EXPECT_EQ(run.metrics.counters.count("net.drops.partition"), 0u);
+  EXPECT_EQ(run.metrics.counters.count("net.drops.duty_cycle"), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllClockModes, TraceReconciliationTest,
                          ::testing::Values(net::ClockMode::kScalarStrobe,
                                            net::ClockMode::kVectorStrobe,

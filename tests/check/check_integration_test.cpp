@@ -59,7 +59,7 @@ INSTANTIATE_TEST_SUITE_P(AllClockModes, CheckedOccupancyTest,
                            return std::string(net::to_string(p.param));
                          });
 
-TEST(CheckedOccupancyTest, LossyConfigStillChecksContractsButSkipsAudit) {
+TEST(CheckedOccupancyTest, LossyConfigAuditsAtFullStrictnessViaDropSpans) {
   OccupancyConfig cfg;
   cfg.loss_probability = 0.3;  // E3-style burst-free random loss
   cfg.horizon = Duration::seconds(30);
@@ -69,8 +69,110 @@ TEST(CheckedOccupancyTest, LossyConfigStillChecksContractsButSkipsAudit) {
   ASSERT_TRUE(run.check.has_value());
   // Loss drops messages, not clock correctness: contracts stay clean.
   EXPECT_TRUE(run.check->clean()) << run.check->summary();
-  // But races are no longer the only error source, so no strict audit.
-  EXPECT_EQ(run.check->contract("race-audit.delivery-order"), nullptr);
+  // Dropped reports become attributable fault spans (DESIGN.md §15), so the
+  // strict audit runs even under loss and explains every confident error.
+  for (const DetectorOutcome& out : run.outcomes) {
+    const check::ContractResult* audit =
+        run.check->contract("race-audit." + out.detector);
+    ASSERT_NE(audit, nullptr) << out.detector;
+    EXPECT_EQ(audit->violations_total, 0u) << out.detector;
+  }
+}
+
+TEST(CheckedOccupancyTest, FaultyRunAuditsCleanWithEveryErrorAttributed) {
+  // The ISSUE acceptance run: crash + partition + Gilbert–Elliott burst
+  // loss, checked at full strictness. Every confident FP/FN must be
+  // attributable to a race or a recorded fault — no eligibility downgrade.
+  OccupancyConfig cfg;
+  cfg.doors = 3;
+  cfg.horizon = Duration::seconds(30);
+  cfg.faults = sim::parse_fault_plan("crash:2@5+4;cut:1-3@12+5");
+  core::SystemConfig::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.3;
+  ge.loss_in_good = 0.01;
+  ge.loss_in_bad = 0.6;
+  cfg.gilbert_elliott = ge;
+  cfg.check = true;
+
+  const OccupancyRunResult run = run_occupancy_experiment(cfg);
+  ASSERT_TRUE(run.check.has_value());
+  const check::CheckReport& report = *run.check;
+  EXPECT_TRUE(report.clean()) << report.summary();
+
+  // The fault-model contract joined the report (crash/partition records were
+  // present and well-paired, and no activity leaked into a crash window).
+  const check::ContractResult* fault = report.contract("fault-model");
+  ASSERT_NE(fault, nullptr);
+  EXPECT_EQ(fault->violations_total, 0u);
+  EXPECT_GE(fault->events_checked, 4u);  // crash, restart, partition, heal
+
+  // The strict audit ran for every detector despite loss + faults.
+  for (const DetectorOutcome& out : run.outcomes) {
+    const check::ContractResult* audit =
+        report.contract("race-audit." + out.detector);
+    ASSERT_NE(audit, nullptr) << out.detector;
+    EXPECT_EQ(audit->violations_total, 0u) << out.detector;
+  }
+
+  // The spans the audit used cover the injected windows.
+  check::FaultSpanConfig span_cfg;
+  span_cfg.delta_bound = run.delta_bound;
+  const auto spans = check::collect_fault_spans(
+      run.trace, core::ObservationLog{}, span_cfg);
+  bool saw_crash = false;
+  bool saw_partition = false;
+  for (const check::FaultSpan& s : spans) {
+    saw_crash |= s.cause == check::FaultSpan::Cause::kCrash && s.reporter == 2;
+    saw_partition |= s.cause == check::FaultSpan::Cause::kPartition;
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_partition);
+}
+
+TEST(CheckedOccupancyTest, DeclaredClockFaultIsCompensatedNotExcused) {
+  // A declared drift spike must pass the physical-drift contract through
+  // exact compensation of the injected offset — not a widened envelope.
+  OccupancyConfig cfg;
+  cfg.horizon = Duration::seconds(20);
+  cfg.clock_mode = net::ClockMode::kPhysical;
+  cfg.faults = sim::parse_fault_plan("drift:2@5+10:500");
+  cfg.check = true;
+
+  const OccupancyRunResult run = run_occupancy_experiment(cfg);
+  ASSERT_TRUE(run.check.has_value());
+  EXPECT_TRUE(run.check->clean()) << run.check->summary();
+  const check::ContractResult* drift = run.check->contract("physical-drift");
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->violations_total, 0u);
+  EXPECT_GT(drift->events_checked, 0u);
+}
+
+TEST(RaceAuditTest, UnexplainedInversionStillFailsWithFaultSpansSupplied) {
+  // Mutation check: fault spans explain covered errors, and ONLY covered
+  // errors — a fabricated inversion outside every span must still fail the
+  // strict audit.
+  std::vector<check::FaultSpan> spans;
+  spans.push_back({SimTime::from_seconds(10), SimTime::from_seconds(11), 2,
+                   check::FaultSpan::Cause::kCrash});
+  check::AuditConfig audit_cfg;
+
+  const check::ContractResult covered = check::audit_detector(
+      "probe", /*races=*/{}, spans,
+      /*fp_cause_times=*/{SimTime::from_seconds(10.5)},
+      /*fn_occurrence_times=*/{}, audit_cfg);
+  EXPECT_EQ(covered.violations_total, 0u);
+
+  const check::ContractResult uncovered = check::audit_detector(
+      "probe", /*races=*/{}, spans,
+      /*fp_cause_times=*/{SimTime::from_seconds(20)},
+      /*fn_occurrence_times=*/{SimTime::from_seconds(2)}, audit_cfg);
+  EXPECT_EQ(uncovered.violations_total, 2u);
+  ASSERT_GE(uncovered.violations.size(), 1u);
+  EXPECT_EQ(uncovered.violations[0].kind,
+            check::ViolationKind::kUnexplainedFalsePositive);
+  EXPECT_NE(uncovered.violations[0].detail.find("recorded fault"),
+            std::string::npos);
 }
 
 TEST(CheckedOccupancyTest, CheckAutoEnablesTracing) {

@@ -239,6 +239,95 @@ TEST(StreamCheckerTest, TraceOnlyModeCatchesUnknownDeliver) {
   EXPECT_EQ(report.verdict, Verdict::kViolations);
 }
 
+sim::TraceRecord fault_record(SimTime at, sim::TraceKind kind, ProcessId pid,
+                              ProcessId peer = kNoProcess) {
+  sim::TraceRecord r;
+  r.at = at;
+  r.kind = kind;
+  r.pid = pid;
+  r.peer = peer;
+  r.seq = 0;
+  return r;
+}
+
+TEST(StreamCheckerFaultTest, FaultContractOnlyJoinsReportWhenFaultsSeen) {
+  StreamCheckerConfig cfg;
+  {
+    StreamChecker checker(cfg);
+    checker.feed(sense_record(SimTime::zero(), 1, 1));
+    const CheckReport report = checker.finish();
+    EXPECT_EQ(report.contract("fault-model"), nullptr);
+  }
+  {
+    StreamChecker checker(cfg);
+    checker.feed(
+        fault_record(SimTime::zero(), sim::TraceKind::kCrash, 2));
+    checker.feed(
+        fault_record(SimTime::zero() + 1_s, sim::TraceKind::kRestart, 2));
+    const CheckReport report = checker.finish();
+    ASSERT_NE(report.contract("fault-model"), nullptr);
+    EXPECT_EQ(report.contract("fault-model")->violations_total, 0u);
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+}
+
+TEST(StreamCheckerFaultTest, MalformedPairingsAreFlagged) {
+  StreamCheckerConfig cfg;
+  {  // crash while already down
+    StreamChecker checker(cfg);
+    checker.feed(fault_record(SimTime::zero(), sim::TraceKind::kCrash, 2));
+    const auto v = checker.feed(
+        fault_record(SimTime::zero() + 1_ms, sim::TraceKind::kCrash, 2));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->kind, ViolationKind::kFaultPairing);
+  }
+  {  // restart without a crash
+    StreamChecker checker(cfg);
+    const auto v =
+        checker.feed(fault_record(SimTime::zero(), sim::TraceKind::kRestart, 2));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->kind, ViolationKind::kFaultPairing);
+  }
+  {  // double cut of one edge (either orientation)
+    StreamChecker checker(cfg);
+    checker.feed(
+        fault_record(SimTime::zero(), sim::TraceKind::kPartition, 1, 3));
+    const auto v = checker.feed(
+        fault_record(SimTime::zero() + 1_ms, sim::TraceKind::kPartition, 3, 1));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->kind, ViolationKind::kFaultPairing);
+  }
+  {  // heal of an edge that was never cut
+    StreamChecker checker(cfg);
+    const auto v =
+        checker.feed(fault_record(SimTime::zero(), sim::TraceKind::kHeal, 1, 2));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->kind, ViolationKind::kFaultPairing);
+  }
+}
+
+TEST(StreamCheckerFaultTest, ActivityInsideACrashWindowIsFlagged) {
+  StreamCheckerConfig cfg;
+  StreamChecker checker(cfg);
+  checker.feed(fault_record(SimTime::zero(), sim::TraceKind::kCrash, 1));
+  // A sense from the downed process: impossible, it is not running.
+  const auto v1 = checker.feed(sense_record(SimTime::zero() + 1_ms, 1, 1));
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->kind, ViolationKind::kActivityWhileDown);
+  // A delivery *to* a downed process: the transport must have dropped it.
+  checker.feed(sense_record(SimTime::zero() + 2_ms, 2, 7));
+  const auto v2 = checker.feed(deliver_record(SimTime::zero() + 3_ms, 1, 7));
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->kind, ViolationKind::kActivityWhileDown);
+  // After the restart the same activity is fine again.
+  checker.feed(fault_record(SimTime::zero() + 4_ms, sim::TraceKind::kRestart, 1));
+  EXPECT_FALSE(checker.feed(sense_record(SimTime::zero() + 5_ms, 1, 2))
+                   .has_value());
+  const CheckReport report = checker.finish();
+  ASSERT_NE(report.contract("fault-model"), nullptr);
+  EXPECT_EQ(report.contract("fault-model")->violations_total, 2u);
+}
+
 TEST(StreamCheckerTest, EvictedRingRefusalIsATraceWindowError) {
   RunInputs inputs = traced_run(net::ClockMode::kVectorStrobe);
   inputs.trace_evicted = 17;

@@ -25,6 +25,8 @@
 //      executions retains a full VectorStamp per send entry by design.
 //   5. The Δ-windowed shard driver (DESIGN.md §14): window loop, outbox
 //      traffic, and fence exchange recycle everything once warm.
+//   6. The fault layer (DESIGN.md §15): FaultSchedule's per-message queries
+//      and the stream checker's fault-record replay.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -48,6 +50,7 @@
 #include "net/message.hpp"
 #include "net/overlay.hpp"
 #include "net/transport.hpp"
+#include "sim/fault.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
@@ -381,11 +384,83 @@ TEST(AllocGuard, ShardedWindowSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs, 0u);
 }
 
+// --- 6. fault layer --------------------------------------------------------
+
+// The fault schedule's steady-state queries — down(), drift_offset(),
+// partition_epoch() — sit on the transport's per-message hot path when a
+// plan is installed (DESIGN.md §15), and the checker's fault-record feed is
+// part of the soak server's always-on loop. Both must be allocation-free
+// once warm: the schedule is immutable pure data, and the checker's
+// down/cut replay state is sized at construction (cut_edges_ reserved).
+
+std::uint64_t fault_schedule_query_allocs(std::size_t queries) {
+  const sim::FaultSchedule sched(sim::parse_fault_plan(
+      "crash:1@1+2;crash:2@5+1;cut:1-2@2+2;cut:1-3@6+3;drift:1@0+4:100"));
+  // Warmup (nothing to warm — the schedule never mutates — but keep the
+  // shape uniform with the other pinned paths).
+  std::uint64_t sink = 0;
+  const auto probe = [&](std::size_t i) {
+    const SimTime t = SimTime::zero() +
+                      Duration::millis(static_cast<std::int64_t>(i % 9000));
+    const ProcessId pid = static_cast<ProcessId>(1 + i % 3);
+    sink += sched.down(pid, t) ? 1u : 0u;
+    sink += static_cast<std::uint64_t>(
+        sched.drift_offset(pid, t).count_nanos());
+    sink += sched.partition_epoch(t);
+  };
+  for (std::size_t i = 0; i < 64; ++i) probe(i);
+  Scope scope;
+  for (std::size_t i = 0; i < queries; ++i) probe(i);
+  // Defeat optimizing the loop away.
+  EXPECT_GT(sink, 0u);
+  return scope.allocations();
+}
+
+std::uint64_t checker_fault_feed_allocs(std::uint64_t rounds) {
+  check::StreamCheckerConfig cfg;
+  cfg.num_processes = 4;
+  cfg.send_retention = Duration::seconds(1);
+  check::StreamChecker checker(cfg);
+  sim::TraceRecord rec;
+  rec.seq = 0;
+  const auto run_round = [&](std::uint64_t round) {
+    const SimTime base =
+        SimTime::zero() +
+        Duration::millis(static_cast<std::int64_t>(round) * 10);
+    const auto fault = [&](Duration off, sim::TraceKind kind, ProcessId pid,
+                           ProcessId peer) {
+      rec.at = base + off;
+      rec.kind = kind;
+      rec.pid = pid;
+      rec.peer = peer;
+      checker.feed(rec);
+    };
+    fault(Duration::zero(), sim::TraceKind::kCrash, 2, kNoProcess);
+    fault(Duration::millis(1), sim::TraceKind::kPartition, 1, 3);
+    fault(Duration::millis(4), sim::TraceKind::kRestart, 2, kNoProcess);
+    fault(Duration::millis(5), sim::TraceKind::kHeal, 1, 3);
+  };
+  const std::uint64_t warmup_rounds = 256;
+  for (std::uint64_t r = 0; r < warmup_rounds; r++) run_round(r);
+  Scope scope;
+  for (std::uint64_t r = 0; r < rounds; r++) run_round(warmup_rounds + r);
+  EXPECT_EQ(checker.violations_so_far(), 0u) << "workload must be clean";
+  return scope.allocations();
+}
+
+TEST(AllocGuard, FaultScheduleQueriesAreAllocationFree) {
+  EXPECT_EQ(fault_schedule_query_allocs(10'000), 0u);
+}
+
+TEST(AllocGuard, StreamCheckerFaultFeedIsAllocationFree) {
+  EXPECT_EQ(checker_fault_feed_allocs(2'000), 0u);
+}
+
 // --- 8-thread repeat -------------------------------------------------------
 
 // Counters are thread-local, so each thread independently asserts zero for
-// its own workload; the five paths run concurrently to shake out any hidden
-// shared-state allocation (there must be none — these paths are all
+// its own workload; the pinned paths run concurrently to shake out any
+// hidden shared-state allocation (there must be none — these paths are all
 // per-run/per-session state by design).
 TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
   constexpr int kThreads = 8;
@@ -395,7 +470,7 @@ TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
   for (int t = 0; t < kThreads; t++) {
     threads.emplace_back([t, &allocs] {
       std::uint64_t total = 0;
-      switch (t % 5) {
+      switch (t % 7) {
         case 0:
           total = scheduler_steady_allocs(2'000);
           break;
@@ -410,6 +485,12 @@ TEST(AllocGuard, AllPinnedPathsStayAllocationFreeOn8Threads) {
           break;
         case 4:
           total = sharded_window_allocs(512, nullptr);
+          break;
+        case 5:
+          total = fault_schedule_query_allocs(2'000);
+          break;
+        case 6:
+          total = checker_fault_feed_allocs(512);
           break;
       }
       allocs[static_cast<std::size_t>(t)] = total;

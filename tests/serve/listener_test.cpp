@@ -373,6 +373,50 @@ TEST(ListenerTest, GracefulStopDrainsLiveSessionsThroughEof) {
             std::string::npos);
 }
 
+TEST(ListenerTest, IdleStreamIsEvictedThroughTheNormalFinishPath) {
+  ListenerConfig cfg;
+  cfg.listen = "0";
+  cfg.idle_timeout_ms = 150;
+  Harness harness(cfg);
+
+  Client client = Client::connect_tcp(harness.listener.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.send_bytes(
+      "{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"seq\":1}\n"
+      "{\"t\":1.5,\"kind\":\"detect\",\"pid\":0}\n"));
+  // Now wedge: send nothing and never half-close. The listener must evict
+  // the stream on its own, draining the session through finish() so we
+  // still get the final metrics and eof verdict before the close.
+  client.read_to_eof();
+  EXPECT_NE(client.received().find("\"event\":\"metrics\""),
+            std::string::npos);
+  EXPECT_NE(client.received().find("\"verdict\":\"clean\""),
+            std::string::npos);
+  EXPECT_NE(client.received().find("\"records\":2"), std::string::npos);
+
+  // The eviction is recorded: a lifecycle log line plus the per-stream
+  // cause counter in the server-wide snapshot.
+  EXPECT_NE(harness.log.str().find("\"event\":\"idle_evict\",\"stream\":0"),
+            std::string::npos);
+  EXPECT_EQ(harness.listener.server_metrics().counters.at(
+                labeled_metric("serve.stream", 0, "idle_evicted")),
+            1u);
+  EXPECT_EQ(harness.stop_and_join(), 0);
+
+  // A fresh client that completes before the deadline is not evicted.
+  Harness harness2(cfg);
+  Client quick = Client::connect_tcp(harness2.listener.port());
+  ASSERT_TRUE(quick.ok());
+  ASSERT_TRUE(
+      quick.send_bytes("{\"t\":1.0,\"kind\":\"sense\",\"pid\":1,\"seq\":1}\n"));
+  quick.half_close();
+  quick.read_to_eof();
+  EXPECT_NE(quick.received().find("\"exit\":0"), std::string::npos);
+  EXPECT_EQ(harness2.stop_and_join(), 0);
+  EXPECT_EQ(harness2.log.str().find("\"event\":\"idle_evict\""),
+            std::string::npos);
+}
+
 TEST(ListenerTest, AggregatesExitCodesWithRejectionOutrankingViolations) {
   ListenerConfig cfg;
   cfg.listen = "0";

@@ -27,6 +27,7 @@
 #include "core/system.hpp"
 #include "net/duty_cycle.hpp"
 #include "net/transport.hpp"
+#include "sim/fault.hpp"
 
 namespace {
 
@@ -101,6 +102,58 @@ psn::analysis::OccupancyConfig draw_config(std::uint64_t round_seed) {
   }
 
   cfg.horizon = Duration::seconds(static_cast<std::int64_t>(4 + splitmix(s) % 8));
+
+  // Gilbert–Elliott burst loss, 1 round in 4 (the fuzzer runs unsharded, so
+  // the per-transmission channel state is legal here).
+  if (splitmix(s) % 4 == 0) {
+    psn::core::SystemConfig::GilbertElliottParams ge;
+    ge.p_good_to_bad = 0.01 + static_cast<double>(splitmix(s) % 10) / 100.0;
+    ge.p_bad_to_good = 0.2 + static_cast<double>(splitmix(s) % 50) / 100.0;
+    ge.loss_in_good = static_cast<double>(splitmix(s) % 5) / 100.0;
+    ge.loss_in_bad = 0.3 + static_cast<double>(splitmix(s) % 60) / 100.0;
+    cfg.gilbert_elliott = ge;
+  }
+
+  // Fault plans (DESIGN.md §15): crash/partition/drift windows inside the
+  // horizon. At most one window per kind keeps the plan trivially valid (no
+  // same-pid/same-edge overlaps); crashed pids stay in [1, doors] (process 0
+  // is mains-powered), cut edges hang off the root so they exist in every
+  // topology. The checker-clean gate then covers the whole fault machinery:
+  // pairing, down-activity, drift compensation, and the fault-aware audit.
+  const std::uint64_t fault_draw = splitmix(s) % 4;
+  const std::int64_t horizon_s = cfg.horizon.count_nanos() / 1'000'000'000;
+  const auto draw_pid = [&]() {
+    return static_cast<psn::ProcessId>(1 + splitmix(s) % cfg.doors);
+  };
+  const auto draw_window = [&](psn::SimTime& begin, psn::SimTime& end) {
+    const std::int64_t b = 1 + static_cast<std::int64_t>(
+                                   splitmix(s) %
+                                   static_cast<std::uint64_t>(horizon_s));
+    const std::int64_t d = 1 + static_cast<std::int64_t>(splitmix(s) % 3);
+    begin = psn::SimTime::zero() + Duration::seconds(b);
+    end = begin + Duration::seconds(d);
+  };
+  if (fault_draw & 1) {
+    psn::sim::CrashWindow w;
+    w.pid = draw_pid();
+    draw_window(w.begin, w.end);
+    cfg.faults.crashes.push_back(w);
+  }
+  if (fault_draw & 2) {
+    psn::sim::PartitionWindow w;
+    w.a = 0;
+    w.b = draw_pid();
+    draw_window(w.begin, w.end);
+    cfg.faults.partitions.push_back(w);
+  }
+  if (fault_draw != 0 && splitmix(s) % 2 == 0) {
+    psn::sim::ClockFaultWindow w;
+    w.pid = draw_pid();
+    draw_window(w.begin, w.end);
+    w.extra_drift_ppm = 50 + static_cast<std::int64_t>(splitmix(s) % 400);
+    cfg.faults.clock_faults.push_back(w);
+  }
+
   cfg.seed = splitmix(s);
   cfg.check = true;
   return cfg;
@@ -139,6 +192,10 @@ void describe(std::uint64_t round, const psn::analysis::OccupancyConfig& c) {
             << " duty=" << (c.duty_cycle ? "on" : "off")
             << " mode=" << psn::net::to_string(c.clock_mode)
             << " validity=" << (c.validity_horizon.bounded() ? "bounded" : "inf")
+            << " ge=" << (c.gilbert_elliott ? "on" : "off")
+            << " faults=" << c.faults.crashes.size() << "c/"
+            << c.faults.partitions.size() << "p/"
+            << c.faults.clock_faults.size() << "d"
             << " horizon_s=" << c.horizon.to_seconds() << " seed=" << c.seed
             << std::endl;  // flush: a crash must not eat the replay info
 }

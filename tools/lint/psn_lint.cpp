@@ -318,7 +318,12 @@ const std::vector<std::string_view> kOutputFeedingPaths = {
     // trace concatenation) define cross-shard event order — hash-order
     // iteration there would make results depend on the process, not the
     // seed (DESIGN.md §14).
-    "src/sim/sharded", "src/core/sharded_system", "src/net/shard_map"};
+    "src/sim/sharded", "src/core/sharded_system", "src/net/shard_map",
+    // The fault layer (DESIGN.md §15): fault-plan compilation orders trace
+    // records and partition transitions, and the transport/overlay
+    // partition-epoch replay decides per-message drops — iteration order
+    // there is drop order, which is output order.
+    "src/sim/fault", "src/net/transport", "src/net/overlay"};
 
 const std::vector<std::string_view> kLocaleSafeDirs = {"src/serve/",
                                                        "src/analysis/export"};

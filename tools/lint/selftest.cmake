@@ -7,6 +7,7 @@ set(BAD_FILES
   src/sim/bad_determinism.cpp
   src/sim/bad_hot_alloc.cpp
   src/sim/clean.cpp
+  src/sim/fault_bad_order.cpp
   src/check/bad_range_for.cpp
   src/serve/bad_locale.cpp)
 

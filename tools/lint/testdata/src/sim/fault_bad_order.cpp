@@ -1,0 +1,24 @@
+// Fixture: hash-order iteration on the fault layer (testdata mirrors
+// src/sim/fault*, which is on the output-feeding ban list — fault-plan
+// compilation orders trace records and partition transitions).
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+struct Window {
+  long begin = 0;
+  long end = 0;
+};
+
+struct Plan {
+  std::unordered_map<unsigned, Window> crash_by_pid;
+};
+
+std::vector<std::pair<unsigned, long>> transitions_of(const Plan& plan) {
+  std::vector<std::pair<unsigned, long>> out;
+  for (const auto& [pid, w] : plan.crash_by_pid) {  // FLAG: emission order
+    out.push_back({pid, w.begin});
+    out.push_back({pid, w.end});
+  }
+  return out;
+}
